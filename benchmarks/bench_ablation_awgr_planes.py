@@ -1,0 +1,43 @@
+"""Ablation — number of parallel AWGR planes.
+
+The paper picks 5 full planes (+1 partial) because 32 fibers split as
+five groups of six. This ablation sweeps the plane count and measures
+what it buys: guaranteed direct bandwidth scales linearly, and hotspot
+acceptance under overload improves with planes (more direct capacity
+before indirection and blocking kick in).
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.network.simulator import AWGRNetworkSimulator
+from repro.network.traffic import Flow
+
+
+def _sweep():
+    rows = []
+    for planes in (2, 3, 5, 8):
+        sim = AWGRNetworkSimulator(n_nodes=16, planes=planes,
+                                   flows_per_wavelength=1, rng_seed=4)
+        # Four sources each push six wavelength-sized flows at node 0.
+        batch = [Flow(src, 0, gbps=25.0)
+                 for src in (1, 2, 3, 4) for _ in range(6)]
+        report = sim.run([batch], duration_slots=4)
+        rows.append({
+            "planes": planes,
+            "direct_pair_gbps": planes * 25.0,
+            "acceptance": report.acceptance_ratio,
+            "indirect_fraction": report.indirect_fraction,
+            "blocked": report.blocked,
+        })
+    return rows
+
+
+def test_ablation_awgr_planes(benchmark):
+    rows = benchmark(_sweep)
+    emit("Ablation — AWGR plane count under hotspot", render_table(rows))
+    acceptance = [r["acceptance"] for r in rows]
+    assert acceptance == sorted(acceptance)  # more planes never hurt
+    # The paper's 5-plane point already clears the hotspot.
+    five = next(r for r in rows if r["planes"] == 5)
+    assert five["acceptance"] > 0.9

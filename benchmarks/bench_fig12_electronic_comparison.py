@@ -1,0 +1,34 @@
+"""Fig. 12 — photonic (35 ns) vs best electronic (85 ns) speedups.
+
+Paper: in-order average 9% (max 41%), OOO 15% (max 45%), GPUs ~61%
+(throttled bandwidth plus latency). PARSEC counted at medium only.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.core.comparison import electronic_vs_photonic
+
+
+def test_fig12_electronic_comparison(benchmark):
+    entries, summaries = benchmark(electronic_vs_photonic)
+    table = [{
+        "core": s.core, "mean_speedup": s.mean_speedup,
+        "max_speedup": s.max_speedup, "n": s.n,
+    } for s in summaries]
+    emit("Fig. 12 — photonic over electronic",
+         render_table(table)
+         + "\npaper: inorder 9%/41%, OOO 15%/45%, GPU ~61%")
+
+    top = sorted(entries, key=lambda e: -e.speedup)[:10]
+    emit("Fig. 12 — top-10 benchmark speedups", render_table([{
+        "benchmark": e.name, "core": e.core, "speedup": e.speedup,
+        "photonic_slowdown": e.photonic_slowdown,
+        "electronic_slowdown": e.electronic_slowdown,
+    } for e in top]))
+
+    by_core = {s.core: s for s in summaries}
+    assert 0.05 < by_core["inorder"].mean_speedup < 0.15
+    assert 0.08 < by_core["ooo"].mean_speedup < 0.20
+    assert 0.40 < by_core["gpu"].mean_speedup < 0.80
+    assert all(e.speedup >= 0 for e in entries)

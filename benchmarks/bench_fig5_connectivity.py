@@ -1,0 +1,38 @@
+"""Fig. 5 / §V-B — fabric connectivity invariants.
+
+Case (A): six parallel 370-port AWGRs give every MCM pair at least
+five direct 25 Gbps wavelengths (125 Gbps guaranteed).
+Case (B): eleven 256-port wave-selective switches, staggered, give
+every MCM pair at least three direct switch paths.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_kv
+from repro.rack.design import plan_awgr_fabric, plan_wss_fabric
+
+
+def _build_and_verify():
+    awgr = plan_awgr_fabric()
+    wss = plan_wss_fabric()
+    return {
+        "awgr_planes": awgr.planes,
+        "awgr_min_direct_wavelengths": awgr.min_direct_wavelengths(),
+        "awgr_guaranteed_pair_gbps": awgr.guaranteed_pair_gbps(),
+        "wss_switches": wss.n_switches,
+        "wss_min_direct_paths": wss.min_direct_paths(),
+        "wss_max_ports_per_mcm": int(wss.ports_per_mcm().max()),
+    }
+
+
+def test_fig5_connectivity(benchmark):
+    result = benchmark(_build_and_verify)
+    emit("Fig. 5 — fabric connectivity",
+         render_kv(result) + "\npaper: >=5 wavelengths/pair (AWGR), "
+         ">=3 direct paths/pair (WSS), 125 Gbps direct")
+    assert result["awgr_planes"] == 6
+    assert result["awgr_min_direct_wavelengths"] >= 5
+    assert result["awgr_guaranteed_pair_gbps"] == 125.0
+    assert result["wss_switches"] == 11
+    assert result["wss_min_direct_paths"] >= 3
+    assert result["wss_max_ports_per_mcm"] <= 8

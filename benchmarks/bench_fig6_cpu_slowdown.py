@@ -1,0 +1,38 @@
+"""Fig. 6 — average and maximum slowdown per suite and input size.
+
+35 ns LLC<->memory adder; in-order (left panel) and OOO (right panel).
+
+Paper values: NAS negligible; Rodinia ~16% both cores; Parsec large
+23% in-order / 41% OOO, medium 13% / 24%; overall Parsec 16% / 27%;
+NW worst at ~79% / ~55%.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.core.slowdown import run_cpu_study, suite_summary
+
+
+def test_fig6_cpu_slowdown(benchmark):
+    results = benchmark(run_cpu_study, 35.0)
+    rows = [{
+        "suite": s.suite, "input": s.input_size, "core": s.core,
+        "mean_slowdown": s.mean_slowdown, "max_slowdown": s.max_slowdown,
+        "n": s.n,
+    } for s in suite_summary(results)]
+    emit("Fig. 6 — CPU slowdown @35 ns", render_table(rows))
+
+    summary = {(r["suite"], r["input"], r["core"]): r for r in rows}
+    assert summary[("parsec", "large", "inorder")]["mean_slowdown"] == \
+        np.clip(summary[("parsec", "large", "inorder")]["mean_slowdown"],
+                0.19, 0.27)
+    assert summary[("parsec", "large", "ooo")]["mean_slowdown"] > \
+        summary[("parsec", "large", "inorder")]["mean_slowdown"]
+    for cls in ("A", "B", "C"):
+        assert summary[("nas", cls, "inorder")]["mean_slowdown"] < 0.05
+    assert 0.12 <= summary[("rodinia", "default", "inorder")][
+        "mean_slowdown"] <= 0.20
+    # NW dominates the Rodinia maxima.
+    assert summary[("rodinia", "default", "inorder")][
+        "max_slowdown"] > 0.70

@@ -1,0 +1,39 @@
+"""Fig. 8 — slowdown at 25/30/35 ns of additional LLC-memory latency.
+
+Paper: "reducing the additional latency to 25 ns from 35 ns reduces
+application slowdown by about half" for both core types.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.core.latency import SENSITIVITY_POINTS_NS
+from repro.core.slowdown import run_cpu_study
+
+
+def _sweep():
+    out = {}
+    for ns in SENSITIVITY_POINTS_NS:
+        out[ns] = run_cpu_study(ns)
+    return out
+
+
+def test_fig8_latency_sensitivity(benchmark):
+    sweeps = benchmark(_sweep)
+    rows = []
+    for ns, results in sweeps.items():
+        for core in ("inorder", "ooo"):
+            sel = [r.slowdown for r in results if r.core == core]
+            rows.append({"extra_ns": ns, "core": core,
+                         "mean_slowdown": float(np.mean(sel)),
+                         "max_slowdown": float(np.max(sel))})
+    emit("Fig. 8 — latency sensitivity", render_table(rows))
+
+    means = {(r["extra_ns"], r["core"]): r["mean_slowdown"] for r in rows}
+    for core in ("inorder", "ooo"):
+        assert means[(25.0, core)] < means[(30.0, core)] < \
+            means[(35.0, core)]
+    # OOO cores: fixed hide window makes the 25 ns point ~half of 35 ns.
+    ratio = means[(25.0, "ooo")] / means[(35.0, "ooo")]
+    assert 0.35 < ratio < 0.75

@@ -1,0 +1,22 @@
+"""§VI-C — photonic power overhead.
+
+Paper: ~11 kW of photonics (0.5 pJ/bit always-on transceivers for
+350 MCMs x 2048 wavelengths x 25 Gbps, plus <=1 kW of switches)
+against the rack's compute power => ~5% overhead.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_kv
+from repro.core.power import rack_power_overhead
+
+
+def test_power_overhead(benchmark):
+    result = benchmark(rack_power_overhead)
+    emit("§VI-C — power overhead", render_kv({
+        "photonic_w [paper ~11000]": result.photonic_w,
+        "compute_w": result.compute_w,
+        "overhead_fraction [paper ~0.05]": result.overhead_fraction,
+    }))
+    assert 9_000 < result.photonic_w < 12_000
+    assert 0.03 < result.overhead_fraction < 0.07

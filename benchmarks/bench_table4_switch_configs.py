@@ -1,0 +1,20 @@
+"""Table IV — switch configurations used by the study.
+
+All families clamped to 25 Gbps/wavelength; radices 370 (cascaded
+AWGR), 240 (spatial), 256 (wave-selective).
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.photonics.switches import table4_rows
+
+
+def test_table4_switch_configs(benchmark):
+    rows = benchmark(table4_rows)
+    emit("Table IV — study switch configurations", render_table(rows))
+    by_type = {r["switch_type"]: r for r in rows}
+    assert by_type["awgr"]["radix"] == 370
+    assert by_type["spatial"]["radix"] == 240
+    assert by_type["wave-selective"]["radix"] == 256
+    assert all(r["gbps_per_wavelength"] == 25.0 for r in rows)

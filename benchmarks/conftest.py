@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index). Each benchmark both times the
+experiment (pytest-benchmark) and prints the regenerated rows/series
+next to the paper's reported values, so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print one experiment's regenerated output with a banner."""
+    bar = "=" * max(8, len(title))
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,62 @@
+"""Design-space exploration: repeating the §VII "other systems should
+repeat our analysis" exercise.
+
+Sweeps the MCM escape configuration (fiber count) and the rack shape
+(GPU-heavy vs CPU-heavy nodes) and regenerates, for each point, the
+Table III packing, the photonic power overhead, and whether the AWGR
+radix still covers the MCM count.
+
+Run:  python examples/design_custom_rack.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core.power import rack_power_overhead
+from repro.photonics.awgr import CascadedAWGR
+from repro.rack.baseline import BaselineRack
+from repro.rack.mcm import MCMConfig, pack_rack, total_mcms
+from repro.rack.node import NodeConfig
+
+
+def explore(rack: BaselineRack, mcm: MCMConfig, label: str) -> dict:
+    packings = pack_rack(rack, mcm)
+    n_mcms = total_mcms(packings)
+    power = rack_power_overhead(rack=rack, mcm=mcm)
+    awgr = CascadedAWGR.paper_config()
+    return {
+        "design": label,
+        "fibers/MCM": mcm.fibers,
+        "MCM escape (GB/s)": mcm.escape_gbyte_s,
+        "total MCMs": n_mcms,
+        "fits 370-port AWGR": n_mcms <= awgr.ports,
+        "photonic power (kW)": power.photonic_w / 1000.0,
+        "power overhead": power.overhead_fraction,
+    }
+
+
+def main() -> None:
+    rows = []
+    baseline = BaselineRack()
+    for fibers in (16, 32, 64):
+        rows.append(explore(baseline, MCMConfig(fibers=fibers),
+                            f"paper rack, {fibers} fibers"))
+
+    # A GPU-dense future node (8 GPUs, same CPU) — §VII: "chips with
+    # higher escape bandwidths motivate fewer chips per MCM".
+    gpu_dense = BaselineRack(node=NodeConfig(gpus=8, hbm_stacks=8,
+                                             pcie_links=8))
+    rows.append(explore(gpu_dense, MCMConfig(), "GPU-dense node (8x A100)"))
+
+    # A CPU-only analysis rack.
+    cpu_only = BaselineRack(node=NodeConfig(gpus=0, hbm_stacks=0,
+                                            ddr4_modules=16))
+    rows.append(explore(cpu_only, MCMConfig(), "CPU-only node, 512 GB"))
+
+    print(render_table(rows, title="Rack design space"))
+    print("\nReading: halving fibers doubles MCM count past the AWGR "
+          "radix; doubling them wastes escape bandwidth on power. The "
+          "paper's 32-fiber point keeps 350 MCMs under the 370-port "
+          "cascaded AWGR with ~5% power overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Scheduling a mixed workload on pooled vs node-granular resources.
+
+The motivation of §I made operational: a stream of jobs with
+complementary resource shapes (GPU-heavy ML, memory-heavy analysis,
+NIC-heavy I/O) is scheduled on (a) the baseline rack that allocates
+whole nodes and maroons everything a job does not use, and (b) the
+disaggregated rack that allocates from shared pools — including pools
+shrunk by the paper's 4x-memory / 2x-NIC iso-performance reductions.
+
+Run:  python examples/disaggregated_scheduling.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_kv, render_table
+from repro.core.allocation import (
+    AllocationError,
+    DisaggregatedAllocator,
+    JobRequest,
+    NodeGranularAllocator,
+)
+from repro.core.scheduler import RackScheduler, ScheduledJob
+from repro.rack.baseline import BaselineRack
+
+
+def make_jobs(rng: np.random.Generator, n_jobs: int = 60
+              ) -> list[ScheduledJob]:
+    """A mixed stream: GPU-heavy, memory-heavy, and balanced jobs."""
+    jobs = []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(4.0))       # arrivals seconds apart
+        kind = rng.choice(["gpu", "memory", "balanced"],
+                          p=[0.4, 0.3, 0.3])
+        if kind == "gpu":
+            request = JobRequest(f"gpu-{i}", cpus=1,
+                                 gpus=int(rng.integers(4, 17)),
+                                 memory_gbyte=64.0, nic_gbps=50.0)
+        elif kind == "memory":
+            request = JobRequest(f"mem-{i}", cpus=2, gpus=0,
+                                 memory_gbyte=float(
+                                     rng.integers(512, 2049)),
+                                 nic_gbps=25.0)
+        else:
+            request = JobRequest(f"bal-{i}", cpus=1, gpus=4,
+                                 memory_gbyte=256.0, nic_gbps=100.0)
+        jobs.append(ScheduledJob(request=request, arrival_s=t,
+                                 duration_s=float(rng.uniform(60, 600))))
+    return jobs
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    jobs = make_jobs(rng)
+    rack = BaselineRack()
+
+    # (a) Node-granular: count nodes consumed and marooned resources.
+    nodal = NodeGranularAllocator(rack=rack)
+    requests = [j.request for j in jobs]
+    total_nodes = sum(nodal.nodes_for(r) for r in requests)
+    marooned = nodal.marooned_fraction(requests)
+    print(render_kv({
+        "jobs": len(jobs),
+        "node-granular nodes consumed": total_nodes,
+        "marooned GPUs": marooned["gpus"],
+        "marooned memory": marooned["memory"],
+        "marooned NIC bandwidth": marooned["nic"],
+    }, title="Baseline (whole-node) allocation"))
+
+    # (b) Pooled scheduling on the full and on the shrunk rack.
+    rows = []
+    for label, mem_red, nic_red in (("disaggregated (full pools)", 1, 1),
+                                    ("disaggregated (4x mem, 2x NIC)",
+                                     4, 2)):
+        allocator = DisaggregatedAllocator.for_rack(
+            rack, memory_reduction=mem_red, nic_reduction=nic_red)
+        scheduler = RackScheduler(allocator)
+        try:
+            records = scheduler.run(jobs)
+        except AllocationError as exc:
+            print(f"{label}: stream infeasible ({exc})")
+            continue
+        waits = [r.wait_s for r in records]
+        rows.append({
+            "configuration": label,
+            "jobs completed": len(records),
+            "mean wait (s)": float(np.mean(waits)),
+            "p95 wait (s)": float(np.quantile(waits, 0.95)),
+            "reconfig rate (Hz)": scheduler.reconfiguration_rate_hz(),
+        })
+    print()
+    print(render_table(rows, title="Pooled scheduling"))
+
+    # (c) Physical check: place a concurrent snapshot of the stream on
+    # the 350 MCMs and verify the photonic fabric carries its traffic.
+    from repro.core.placement import PlacementEngine
+
+    snapshot = [j.request for j in jobs[:12]]
+    report, flows = PlacementEngine().validate_bandwidth(snapshot)
+    print()
+    print(render_kv({
+        "jobs placed": len(snapshot),
+        "logical flows": len(flows),
+        "wavelength flows offered": report.offered,
+        "acceptance ratio": report.acceptance_ratio,
+        "indirect fraction": report.indirect_fraction,
+    }, title="Fabric validation of a concurrent snapshot"))
+    print("\nReading: the pooled rack absorbs the same stream with "
+          "sub-switch-speed reconfiguration rates (§III-D3), even "
+          "after the §VI-E resource reductions — and the placed jobs' "
+          "traffic fits the six-plane AWGR fabric (§VI-A).")
+
+
+if __name__ == "__main__":
+    main()

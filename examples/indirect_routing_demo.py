@@ -1,0 +1,43 @@
+"""Indirect routing over parallel AWGRs under a hotspot.
+
+Reproduces the §IV mechanism end-to-end: sources that exhaust their
+direct wavelengths toward a hot destination borrow bandwidth through
+Valiant-chosen intermediates, guided by piggybacked occupancy state.
+The demo contrasts always-fresh state with a slow broadcast period to
+show the second-intermediate fallback absorbing staleness.
+
+Run:  python examples/indirect_routing_demo.py
+"""
+
+from repro.analysis.report import render_table
+from repro.network.simulator import AWGRNetworkSimulator
+from repro.network.traffic import Flow, uniform_traffic
+
+
+def run_one(update_period: int, seed: int = 3) -> dict:
+    sim = AWGRNetworkSimulator(n_nodes=24, planes=5,
+                               flows_per_wavelength=1,
+                               state_update_period=update_period,
+                               rng_seed=seed)
+    batches = []
+    for _ in range(8):
+        background = uniform_traffic(24, 12, gbps=25.0)
+        hotspot = [Flow(src, 0, gbps=25.0)
+                   for src in (1, 2, 3, 4) for _ in range(3)]
+        batches.append(background + hotspot)
+    report = sim.run(batches, duration_slots=2)
+    return {"update_period": update_period, **report.as_dict()}
+
+
+def main() -> None:
+    rows = [run_one(period) for period in (1, 10, 100)]
+    print(render_table(rows, title="AWGR indirect routing vs staleness"))
+    print("\nReading: most traffic rides direct wavelengths; hotspot "
+          "overflow goes indirect; stale state adds mispredictions "
+          "and double-indirect hops, but acceptance stays high — the "
+          "§IV argument that per-source state plus a fallback beats a "
+          "centralized scheduler.")
+
+
+if __name__ == "__main__":
+    main()

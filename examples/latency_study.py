@@ -1,0 +1,51 @@
+"""Latency sensitivity study across CPU suites and GPU applications.
+
+Reproduces the experiment behind Figs. 6, 8, and 9: sweep the added
+LLC<->memory latency over 25/30/35 ns (photonic) and 85 ns (best
+electronic), run every calibrated benchmark through the substrates,
+and print suite-level summaries.
+
+Run:  python examples/latency_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.slowdown import run_cpu_study, run_gpu_study, suite_summary
+
+
+def main() -> None:
+    rows = []
+    for extra_ns in (25.0, 30.0, 35.0, 85.0):
+        results = run_cpu_study(extra_ns)
+        for s in suite_summary(results):
+            rows.append({
+                "extra_ns": extra_ns, "suite": s.suite,
+                "input": s.input_size, "core": s.core,
+                "mean": s.mean_slowdown, "max": s.max_slowdown,
+            })
+    print(render_table(rows, title="CPU slowdown by suite and latency"))
+
+    gpu_rows = []
+    for extra_ns in (25.0, 30.0, 35.0, 85.0):
+        results = run_gpu_study(extra_ns)
+        by_suite: dict[str, list[float]] = {}
+        for g in results:
+            by_suite.setdefault(g.suite, []).append(g.slowdown)
+        for suite, values in sorted(by_suite.items()):
+            gpu_rows.append({
+                "extra_ns": extra_ns, "suite": suite,
+                "mean": float(np.mean(values)),
+                "max": float(np.max(values)),
+            })
+    print()
+    print(render_table(gpu_rows, title="GPU slowdown by suite and latency"))
+
+    print("\nReading: photonics (35 ns) keeps the in-order CPU average "
+          "near 15% and GPUs near 5%; the best electronic fabric "
+          "(85 ns) roughly doubles the CPU penalty, which is the "
+          "Fig. 12 speedup argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: design a photonically-disaggregated HPC rack.
+
+Builds the paper's rack (Table III), checks the fabric's connectivity
+guarantees (Fig. 5), composes the latency budget (35 ns), and measures
+the slowdown of one benchmark on the disaggregated memory path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.report import render_kv, render_table
+from repro.core.latency import PHOTONIC_BUDGET
+from repro.cpu.simulator import CPUSimulator
+from repro.rack.design import DisaggregatedRack
+from repro.rack.mcm import table3_rows
+from repro.workloads.cpu_suites import parsec_benchmarks
+
+
+def main() -> None:
+    # 1. Pack the baseline rack's chips into equal-escape MCMs.
+    print(render_table(table3_rows(),
+                       title="MCM packing (paper Table III)"))
+
+    # 2. Plan the AWGR fabric and verify its connectivity guarantee.
+    rack = DisaggregatedRack(fabric="awgr")
+    plan = rack.plan()
+    print()
+    print(render_kv({
+        "MCMs": rack.n_mcms(),
+        "parallel AWGR planes": plan.planes,
+        "min direct wavelengths per pair": plan.min_direct_wavelengths(),
+        "guaranteed pair bandwidth (Gbps)": plan.guaranteed_pair_gbps(),
+    }, title="AWGR fabric plan (paper Fig. 5)"))
+
+    # 3. The latency cost of leaving the node: 35 ns.
+    print()
+    print(render_kv({
+        "EOE conversion (ns)": PHOTONIC_BUDGET.eoe_conversion_ns,
+        "fiber propagation (ns)": PHOTONIC_BUDGET.propagation_ns,
+        "total added latency (ns)": PHOTONIC_BUDGET.total_ns,
+    }, title="Disaggregation latency budget"))
+
+    # 4. What that latency does to one application.
+    bench = next(b for b in parsec_benchmarks("large")
+                 if b.name == "streamcluster")
+    sim = CPUSimulator()
+    result = sim.run_inorder(bench.trace_spec(),
+                             PHOTONIC_BUDGET.total_ns,
+                             cpi_base=bench.cpi_inorder)
+    print()
+    print(render_kv({
+        "benchmark": result.name,
+        "LLC miss rate": result.llc_miss_rate,
+        "slowdown @35 ns": result.slowdown,
+    }, title="Example slowdown (in-order core)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+whose setuptools predates PEP 660 editable wheels (metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Efficient Intra-Rack Resource Disaggregation
+for HPC Using Co-Packaged DWDM Photonics" (CLUSTER 2023).
+
+Public API layering:
+
+* :mod:`repro.photonics` — DWDM links, optical switches, AWGRs, FEC,
+  power (paper §III, Tables I/II).
+* :mod:`repro.rack` — chip catalog, baseline rack, MCM packing,
+  disaggregated fabric plans (§V, Table III, Fig. 5).
+* :mod:`repro.network` — wavelength allocation, indirect routing,
+  piggybacked state, flow simulator, electronic comparator (§IV, §VI-D).
+* :mod:`repro.cpu` / :mod:`repro.gpu` — performance substrates
+  (gem5 / PPT-GPU substitutes, §VI-B).
+* :mod:`repro.workloads` — benchmark characterizations and
+  production-utilization profiles.
+* :mod:`repro.core` — the headline analyses: latency budget, bandwidth
+  satisfaction, slowdown studies, electronic comparison, power
+  overhead, iso-performance (§VI).
+* :mod:`repro.analysis` — statistics and report rendering.
+"""
+
+from repro.core.latency import (
+    PHOTONIC_BUDGET,
+    photonic_disaggregation_latency_ns,
+)
+from repro.core.slowdown import run_cpu_study, run_gpu_study, suite_summary
+from repro.core.comparison import electronic_vs_photonic
+from repro.core.power import rack_power_overhead
+from repro.core.isoperf import iso_performance_comparison
+from repro.rack.design import DisaggregatedRack
+from repro.rack.baseline import BaselineRack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PHOTONIC_BUDGET", "photonic_disaggregation_latency_ns",
+    "run_cpu_study", "run_gpu_study", "suite_summary",
+    "electronic_vs_photonic", "rack_power_overhead",
+    "iso_performance_comparison", "DisaggregatedRack", "BaselineRack",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Statistics helpers and plain-text report rendering."""
+
+from repro.analysis.stats import pearson, summarize, quantiles
+from repro.analysis.report import render_table, render_kv
+
+__all__ = ["pearson", "summarize", "quantiles", "render_table", "render_kv"]

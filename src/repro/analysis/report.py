@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benches and examples.
+
+Keeps the benchmark harness output comparable with the paper's tables
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+
+def _fmt(value, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(rows: list[dict], columns: list[str] | None = None,
+                 precision: int = 3, title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        raise ValueError("no rows to render")
+    cols = columns if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(c), precision) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells))
+              for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict, precision: int = 3,
+              title: str | None = None) -> str:
+    """Render a mapping as aligned key: value lines."""
+    if not pairs:
+        raise ValueError("no pairs to render")
+    width = max(len(str(k)) for k in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {_fmt(value, precision)}")
+    return "\n".join(lines)

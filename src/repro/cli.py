@@ -1,0 +1,253 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro table1           # Table I link technologies
+    python -m repro table3           # MCM packing
+    python -m repro fig6 --latency 35
+    python -m repro fig12
+    python -m repro isoperf --empirical
+    python -m repro all              # everything, in paper order
+
+Every subcommand prints the same rows the corresponding
+``benchmarks/bench_*.py`` module asserts against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import render_kv, render_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.photonics.links import table1_rows
+    print(render_table(table1_rows(args.escape),
+                       title=f"Table I ({args.escape} TB/s escape)"))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.photonics.switches import table2_rows
+    print(render_table(table2_rows(), title="Table II"))
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from repro.rack.mcm import table3_rows
+    print(render_table(table3_rows(), title="Table III"))
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    from repro.photonics.switches import table4_rows
+    print(render_table(table4_rows(), title="Table IV"))
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    from repro.rack.design import plan_awgr_fabric, plan_wss_fabric
+    awgr = plan_awgr_fabric()
+    wss = plan_wss_fabric()
+    print(render_kv({
+        "AWGR planes": awgr.planes,
+        "min direct wavelengths/pair": awgr.min_direct_wavelengths(),
+        "guaranteed pair Gbps": awgr.guaranteed_pair_gbps(),
+        "WSS switches": wss.n_switches,
+        "min direct WSS paths/pair": wss.min_direct_paths(),
+    }, title="Fig. 5 connectivity"))
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.core.slowdown import run_cpu_study, suite_summary
+    results = run_cpu_study(args.latency)
+    rows = [{"suite": s.suite, "input": s.input_size, "core": s.core,
+             "mean": s.mean_slowdown, "max": s.max_slowdown}
+            for s in suite_summary(results)]
+    print(render_table(rows, title=f"Fig. 6 @ {args.latency} ns"))
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.analysis.stats import pearson
+    from repro.core.slowdown import run_cpu_study
+    from repro.workloads.cpu_suites import (
+        parsec_benchmarks,
+        rodinia_cpu_benchmarks,
+    )
+    benches = parsec_benchmarks("large") + rodinia_cpu_benchmarks()
+    results = run_cpu_study(args.latency, benchmarks=benches)
+    rows = [{"benchmark": r.name, "core": r.core, "slowdown": r.slowdown,
+             "llc_miss_rate": r.llc_miss_rate}
+            for r in results if r.core == "inorder"]
+    print(render_table(sorted(rows, key=lambda r: -r["slowdown"]),
+                       title=f"Fig. 7 @ {args.latency} ns"))
+    sel = [r for r in results if r.core == "inorder"]
+    r = pearson([x.slowdown for x in sel], [x.llc_miss_rate for x in sel])
+    print(f"\nPearson(slowdown, LLC miss rate) = {r:.3f}")
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    from repro.core.slowdown import run_cpu_study
+    rows = []
+    for ns in (25.0, 30.0, 35.0):
+        results = run_cpu_study(ns)
+        for core in ("inorder", "ooo"):
+            sel = [r.slowdown for r in results if r.core == core]
+            rows.append({"extra_ns": ns, "core": core,
+                         "mean": float(np.mean(sel)),
+                         "max": float(np.max(sel))})
+    print(render_table(rows, title="Fig. 8 latency sensitivity"))
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from repro.core.slowdown import run_gpu_study
+    rows = [{"application": g.name, "slowdown": g.slowdown,
+             "llc_miss_rate": g.llc_miss_rate}
+            for g in run_gpu_study(args.latency)]
+    print(render_table(sorted(rows, key=lambda r: -r["slowdown"]),
+                       title=f"Fig. 9 @ {args.latency} ns"))
+    print(f"\nmean = {np.mean([r['slowdown'] for r in rows]):.4f} "
+          "(paper 0.0535)")
+
+
+def _cmd_fig11(args: argparse.Namespace) -> None:
+    from repro.core.slowdown import cpu_gpu_rodinia_comparison
+    rows = [{"benchmark": r.benchmark, "inorder": r.inorder,
+             "ooo": r.ooo, "gpu": r.gpu}
+            for r in cpu_gpu_rodinia_comparison(args.latency)]
+    print(render_table(rows, title=f"Fig. 11 @ {args.latency} ns"))
+
+
+def _cmd_fig12(args: argparse.Namespace) -> None:
+    from repro.core.comparison import electronic_vs_photonic
+    _, summaries = electronic_vs_photonic()
+    rows = [{"core": s.core, "mean_speedup": s.mean_speedup,
+             "max_speedup": s.max_speedup, "n": s.n} for s in summaries]
+    print(render_table(rows, title="Fig. 12 photonic vs electronic"))
+
+
+def _cmd_power(args: argparse.Namespace) -> None:
+    from repro.core.power import rack_power_overhead
+    result = rack_power_overhead()
+    print(render_kv({
+        "photonic W": result.photonic_w,
+        "compute W": result.compute_w,
+        "overhead": result.overhead_fraction,
+    }, title="Power overhead (§VI-C)"))
+
+
+def _cmd_bandwidth(args: argparse.Namespace) -> None:
+    from repro.core.bandwidth import awgr_bandwidth_analysis
+    report = awgr_bandwidth_analysis()
+    print(render_kv({
+        "direct pair Gbps": report.guaranteed_pair_gbps,
+        "P(cpu-mem ok)": report.cpu_memory.p_sufficient,
+        "P(nic-mem ok)": report.nic_memory.p_sufficient,
+        "GPU headroom GB/s": report.gpu_budget.after_gpu_gpu_gbyte_s,
+        "all satisfied": report.all_satisfied,
+    }, title="Bandwidth analysis (§VI-A)"))
+
+
+def _cmd_isoperf(args: argparse.Namespace) -> None:
+    from repro.core.isoperf import iso_performance_comparison
+    kwargs = {}
+    if args.empirical:
+        kwargs = {"memory_reduction": None, "nic_reduction": None}
+    result = iso_performance_comparison(**kwargs)
+    print(render_kv({
+        "baseline modules": result.baseline_total,
+        "disaggregated modules": result.disaggregated_total,
+        "reduction": result.module_reduction,
+        "memory pooling factor": result.memory_reduction,
+        "nic pooling factor": result.nic_reduction,
+    }, title="Iso-performance (§VI-E)"))
+
+
+def _cmd_linkbudget(args: argparse.Namespace) -> None:
+    from repro.photonics.linkbudget import fabric_feasibility
+    print(render_table(fabric_feasibility(),
+                       title="Optical link budget per switch family"))
+
+
+def _cmd_claims(args: argparse.Namespace) -> None:
+    from repro.paper import validate_all, validate_structural
+    results = (validate_structural() if args.fast else validate_all())
+    print(render_table([r.as_row() for r in results],
+                       title="Paper-claims ledger"))
+    failed = [r for r in results if not r.ok]
+    print(f"\n{len(results) - len(failed)}/{len(results)} claims "
+          "within tolerance")
+    if failed:
+        raise SystemExit(1)
+
+
+_COMMANDS = {
+    "table1": (_cmd_table1, "Table I link technologies"),
+    "table2": (_cmd_table2, "Table II switch catalog"),
+    "table3": (_cmd_table3, "Table III MCM packing"),
+    "table4": (_cmd_table4, "Table IV study switch configs"),
+    "fig5": (_cmd_fig5, "Fig. 5 fabric connectivity"),
+    "fig6": (_cmd_fig6, "Fig. 6 CPU slowdown"),
+    "fig7": (_cmd_fig7, "Fig. 7 LLC-miss correlation"),
+    "fig8": (_cmd_fig8, "Fig. 8 latency sensitivity"),
+    "fig9": (_cmd_fig9, "Fig. 9 GPU slowdown"),
+    "fig11": (_cmd_fig11, "Fig. 11 CPU vs GPU"),
+    "fig12": (_cmd_fig12, "Fig. 12 electronic comparison"),
+    "power": (_cmd_power, "§VI-C power overhead"),
+    "bandwidth": (_cmd_bandwidth, "§VI-A bandwidth analysis"),
+    "isoperf": (_cmd_isoperf, "§VI-E iso-performance"),
+    "linkbudget": (_cmd_linkbudget, "optical link budget check"),
+    "claims": (_cmd_claims, "validate the paper-claims ledger"),
+}
+
+#: Order used by `repro all` (paper order).
+_ALL_ORDER = ("table1", "table2", "table3", "table4", "fig5",
+              "bandwidth", "fig6", "fig7", "fig8", "fig9", "fig11",
+              "power", "fig12", "isoperf", "linkbudget")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from 'Efficient Intra-Rack "
+                    "Resource Disaggregation for HPC Using Co-Packaged "
+                    "DWDM Photonics' (CLUSTER 2023).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        if name in ("fig6", "fig7", "fig9", "fig11"):
+            p.add_argument("--latency", type=float, default=35.0,
+                           help="extra LLC<->memory latency in ns")
+        if name == "table1":
+            p.add_argument("--escape", type=float, default=2.0,
+                           help="escape bandwidth target in TB/s")
+        if name == "isoperf":
+            p.add_argument("--empirical", action="store_true",
+                           help="derive pooling factors from the "
+                                "utilization model instead of the "
+                                "paper's 4x/2x")
+        if name == "claims":
+            p.add_argument("--fast", action="store_true",
+                           help="structural claims only (skip the "
+                                "slowdown studies)")
+    sub.add_parser("all", help="run every experiment in paper order")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
+        for name in _ALL_ORDER:
+            handler, _ = _COMMANDS[name]
+            defaults = build_parser().parse_args([name])
+            handler(defaults)
+            print()
+        return 0
+    handler, _ = _COMMANDS[args.command]
+    handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: photonic intra-rack disaggregation
+analyses — latency composition, bandwidth satisfaction, application
+slowdown studies, the electronic comparison, power overhead, and the
+iso-performance resource-reduction estimate.
+"""
+
+from repro.core.latency import (
+    LatencyBudget,
+    photonic_disaggregation_latency_ns,
+    PHOTONIC_BUDGET,
+)
+from repro.core.slowdown import (
+    run_cpu_study,
+    run_gpu_study,
+    suite_summary,
+    cpu_gpu_rodinia_comparison,
+)
+from repro.core.comparison import electronic_vs_photonic
+from repro.core.bandwidth import (
+    awgr_bandwidth_analysis,
+    gpu_bandwidth_budget,
+    direct_bandwidth_sufficiency,
+)
+from repro.core.power import rack_power_overhead
+from repro.core.isoperf import iso_performance_comparison, IsoPerfResult
+from repro.core.allocation import (
+    JobRequest,
+    ResourcePool,
+    DisaggregatedAllocator,
+    AllocationError,
+)
+from repro.core.scheduler import RackScheduler, ScheduledJob
+from repro.core.placement import (
+    MCMDirectory,
+    PlacementEngine,
+    JobPlacement,
+)
+
+__all__ = [
+    "LatencyBudget", "photonic_disaggregation_latency_ns", "PHOTONIC_BUDGET",
+    "run_cpu_study", "run_gpu_study", "suite_summary",
+    "cpu_gpu_rodinia_comparison",
+    "electronic_vs_photonic",
+    "awgr_bandwidth_analysis", "gpu_bandwidth_budget",
+    "direct_bandwidth_sufficiency",
+    "rack_power_overhead",
+    "iso_performance_comparison", "IsoPerfResult",
+    "JobRequest", "ResourcePool", "DisaggregatedAllocator", "AllocationError",
+    "RackScheduler", "ScheduledJob",
+    "MCMDirectory", "PlacementEngine", "JobPlacement",
+]

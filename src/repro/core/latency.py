@@ -1,0 +1,82 @@
+"""Disaggregation latency composition (paper §III-C2, §VI-B).
+
+The 35 ns the study adds between the LLC and main memory decomposes
+as: ~15 ns for electrical-optical-electrical conversion (SERDES, ring
+modulation, FEC) plus 4 meters of fiber at 5 ns/m covering the
+round-trip span of a two-meter rack. Shorter reaches or better
+transceivers give the 25/30 ns sensitivity points of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import FIBER_NS_PER_METER, propagation_latency_ns
+
+
+@dataclass(frozen=True)
+class LatencyBudget:
+    """Additive latency budget for one disaggregated memory access path.
+
+    Parameters
+    ----------
+    eoe_conversion_ns:
+        Electrical-optical-electrical conversion including SERDES,
+        modulation, and FEC (paper: 15 ns).
+    fiber_m:
+        One-way fiber length covered (paper: 4 m worst case,
+        round-trip of a 2 m rack).
+    ns_per_meter:
+        Fiber propagation latency (5 ns/m).
+    """
+
+    eoe_conversion_ns: float = 15.0
+    fiber_m: float = 4.0
+    ns_per_meter: float = FIBER_NS_PER_METER
+
+    def __post_init__(self) -> None:
+        if self.eoe_conversion_ns < 0 or self.fiber_m < 0:
+            raise ValueError("latency components must be >= 0")
+
+    @property
+    def propagation_ns(self) -> float:
+        """Fiber propagation share."""
+        return propagation_latency_ns(self.fiber_m, self.ns_per_meter)
+
+    @property
+    def total_ns(self) -> float:
+        """Total added latency (35 ns with defaults)."""
+        return self.eoe_conversion_ns + self.propagation_ns
+
+    def with_fiber(self, fiber_m: float) -> "LatencyBudget":
+        """Budget for a different reach (e.g. 2 m => 25 ns)."""
+        return LatencyBudget(eoe_conversion_ns=self.eoe_conversion_ns,
+                             fiber_m=fiber_m,
+                             ns_per_meter=self.ns_per_meter)
+
+    def dram_latency_fraction(self, dram_ns: float = 90.0) -> float:
+        """Added latency as a fraction of typical DRAM latency.
+
+        §III-C2 quotes rack-scale propagation as "approximately less
+        than 20% of the typical DRAM latency"; this exposes the ratio
+        for the full budget.
+        """
+        if dram_ns <= 0:
+            raise ValueError("dram_ns must be positive")
+        return self.total_ns / dram_ns
+
+
+#: The study's worst-case budget (35 ns).
+PHOTONIC_BUDGET = LatencyBudget()
+
+
+def photonic_disaggregation_latency_ns(fiber_m: float = 4.0,
+                                       eoe_conversion_ns: float = 15.0,
+                                       ) -> float:
+    """Added LLC<->memory latency for a photonic intra-rack fabric."""
+    return LatencyBudget(eoe_conversion_ns=eoe_conversion_ns,
+                         fiber_m=fiber_m).total_ns
+
+
+#: The three sensitivity points of Fig. 8 / Fig. 9.
+SENSITIVITY_POINTS_NS: tuple[float, ...] = (25.0, 30.0, 35.0)

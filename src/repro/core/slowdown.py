@@ -1,0 +1,156 @@
+"""Slowdown studies: the Fig. 6-11 experiment runners.
+
+These drive the CPU and GPU substrates over the calibrated workload
+tables and aggregate results the way the paper's figures do (per-suite
+average/maximum, per-benchmark scatter against LLC miss rate, CPU-GPU
+comparison on the shared Rodinia subset).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.simulator import CPUSimulator, SlowdownResult
+from repro.gpu.model import A100Model
+from repro.workloads.cpu_suites import CPUBenchmark, all_cpu_benchmarks
+from repro.workloads.gpu_suites import (
+    RODINIA_INTERSECTION,
+    gpu_applications,
+)
+
+
+def run_cpu_study(extra_latency_ns: float = 35.0,
+                  benchmarks: tuple[CPUBenchmark, ...] | None = None,
+                  cores: tuple[str, ...] = ("inorder", "ooo"),
+                  simulator: CPUSimulator | None = None,
+                  ) -> list[SlowdownResult]:
+    """Run every benchmark on the requested core types at one adder.
+
+    Each benchmark's synthetic trace is generated once and reused for
+    both core types (as in the paper, where the same gem5 checkpoint
+    feeds both core models).
+    """
+    sim = simulator if simulator is not None else CPUSimulator()
+    benches = benchmarks if benchmarks is not None else all_cpu_benchmarks()
+    results: list[SlowdownResult] = []
+    for bench in benches:
+        spec = bench.trace_spec()
+        stats = sim.cache_stats(spec)
+        if "inorder" in cores:
+            results.append(sim.run_inorder(
+                spec, extra_latency_ns, cpi_base=bench.cpi_inorder,
+                stats=stats))
+        if "ooo" in cores:
+            results.append(sim.run_ooo(
+                spec, extra_latency_ns, cpi_exec=bench.cpi_ooo,
+                mlp=bench.mlp(), stats=stats))
+    return results
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Average/maximum slowdown for one (suite, input, core) group."""
+
+    suite: str
+    input_size: str
+    core: str
+    mean_slowdown: float
+    max_slowdown: float
+    n: int
+
+
+def suite_summary(results: list[SlowdownResult]) -> list[SuiteSummary]:
+    """Group results as Fig. 6 does: per suite x input size x core."""
+    groups: dict[tuple[str, str, str], list[float]] = defaultdict(list)
+    for res in results:
+        suite, _, input_size = res.name.split(".")
+        groups[(suite, input_size, res.core)].append(res.slowdown)
+    out = []
+    for (suite, input_size, core), values in sorted(groups.items()):
+        arr = np.asarray(values)
+        out.append(SuiteSummary(suite=suite, input_size=input_size,
+                                core=core,
+                                mean_slowdown=float(arr.mean()),
+                                max_slowdown=float(arr.max()),
+                                n=arr.size))
+    return out
+
+
+def overall_mean(results: list[SlowdownResult], core: str) -> float:
+    """Mean slowdown across all benchmarks for one core type."""
+    values = [r.slowdown for r in results if r.core == core]
+    if not values:
+        raise ValueError(f"no results for core {core!r}")
+    return float(np.mean(values))
+
+
+@dataclass(frozen=True)
+class GPUSlowdown:
+    """One GPU application's slowdown at one latency point."""
+
+    name: str
+    suite: str
+    extra_latency_ns: float
+    slowdown: float
+    llc_miss_rate: float
+    hbm_txn_per_instr: float
+
+
+def run_gpu_study(extra_latency_ns: float = 35.0,
+                  model: A100Model | None = None) -> list[GPUSlowdown]:
+    """Slowdown of all 24 GPU applications at one adder (Fig. 9)."""
+    model = model if model is not None else A100Model()
+    out = []
+    for app in gpu_applications():
+        out.append(GPUSlowdown(
+            name=app.name,
+            suite=app.suite,
+            extra_latency_ns=extra_latency_ns,
+            slowdown=model.slowdown(app, extra_latency_ns),
+            llc_miss_rate=app.llc_miss_rate,
+            hbm_txn_per_instr=app.hbm_txn_per_instr))
+    return out
+
+
+@dataclass(frozen=True)
+class RodiniaComparison:
+    """Per-benchmark CPU (both cores) vs GPU slowdown (Fig. 11)."""
+
+    benchmark: str
+    inorder: float
+    ooo: float
+    gpu: float
+
+
+def cpu_gpu_rodinia_comparison(extra_latency_ns: float = 35.0,
+                               simulator: CPUSimulator | None = None,
+                               model: A100Model | None = None,
+                               ) -> list[RodiniaComparison]:
+    """Fig. 11: shared Rodinia benchmarks on in-order, OOO, and GPU."""
+    from repro.workloads.cpu_suites import rodinia_cpu_benchmarks
+
+    cpu_results = run_cpu_study(
+        extra_latency_ns,
+        benchmarks=tuple(b for b in rodinia_cpu_benchmarks()
+                         if b.name in RODINIA_INTERSECTION),
+        simulator=simulator)
+    gpu_results = {g.name.split(".")[-1]: g.slowdown
+                   for g in run_gpu_study(extra_latency_ns, model)
+                   if g.suite == "rodinia-gpu"}
+    by_bench: dict[str, dict[str, float]] = defaultdict(dict)
+    for res in cpu_results:
+        bench = res.name.split(".")[1]
+        by_bench[bench][res.core] = res.slowdown
+    out = []
+    for bench in RODINIA_INTERSECTION:
+        if bench not in by_bench or bench not in gpu_results:
+            continue
+        out.append(RodiniaComparison(
+            benchmark=bench,
+            inorder=by_bench[bench]["inorder"],
+            ooo=by_bench[bench]["ooo"],
+            gpu=gpu_results[bench]))
+    return out

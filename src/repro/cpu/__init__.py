@@ -1,0 +1,38 @@
+"""CPU performance substrate (gem5 substitute).
+
+Trace-driven cache-hierarchy plus core timing models used for the
+paper's §VI-B latency study. A benchmark is characterized by a
+:class:`~repro.cpu.trace.TraceSpec`; the generator synthesizes a
+memory-reference stream with the benchmark's locality profile, the
+cache hierarchy turns it into per-level hit/miss counts, and the
+in-order / out-of-order timing models turn those into cycles with and
+without the disaggregation latency adder.
+
+Two cache simulators are provided: an exact set-associative LRU
+simulator (:class:`~repro.cpu.caches.SetAssociativeCache`) used for
+validation on small traces, and a fast vectorized stack-distance model
+(:func:`~repro.cpu.caches.simulate_hierarchy`) used by the studies.
+"""
+
+from repro.cpu.caches import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    SetAssociativeCache,
+    simulate_hierarchy,
+)
+from repro.cpu.trace import TraceSpec, SyntheticTrace, generate_trace
+from repro.cpu.memory import MemoryModel
+from repro.cpu.dram import DRAMChannel, calibration_consistency
+from repro.cpu.core_inorder import InOrderCore
+from repro.cpu.core_ooo import OutOfOrderCore
+from repro.cpu.simulator import CPUSimulator, SlowdownResult
+
+__all__ = [
+    "CacheConfig", "CacheHierarchy", "CacheStats", "SetAssociativeCache",
+    "simulate_hierarchy",
+    "TraceSpec", "SyntheticTrace", "generate_trace",
+    "MemoryModel", "DRAMChannel", "calibration_consistency",
+    "InOrderCore", "OutOfOrderCore",
+    "CPUSimulator", "SlowdownResult",
+]

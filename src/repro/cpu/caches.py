@@ -1,0 +1,272 @@
+"""Cache hierarchy models.
+
+Two complementary simulators:
+
+* :class:`SetAssociativeCache` — an exact set-associative LRU cache
+  operating on byte addresses. Slow (pure Python) but trustworthy;
+  the test suite uses it to validate the fast model on small traces.
+* :func:`simulate_hierarchy` — a vectorized stack-distance model: an
+  access whose LRU stack distance (in lines) fits within a level's
+  effective capacity hits there. For fully-associative LRU this is
+  exact (the classic Mattson result); set-associativity is absorbed
+  into an effective-capacity factor.
+
+The hierarchy is configured to match the model rack's CPU (§VI-B
+"we configure the cache hierarchy to match the CPUs of our model HPC
+rack"): Milan-like 32 KiB L1D, 512 KiB L2, 32 MiB L3 slice per core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Parameters
+    ----------
+    name:
+        Level label ("L1", "L2", "LLC").
+    capacity_bytes:
+        Total data capacity.
+    line_bytes:
+        Cache line size.
+    associativity:
+        Ways per set.
+    hit_penalty_cycles:
+        Extra cycles charged when an access must be serviced at this
+        level (i.e. it missed all faster levels). L1 hits are hidden by
+        the pipeline and charged 0 in the timing models.
+    effective_capacity_factor:
+        Fraction of nominal capacity that behaves fully-associatively
+        under the stack-distance model (conflict misses shave a bit).
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    hit_penalty_cycles: float = 0.0
+    effective_capacity_factor: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"{self.name}: sizes must be positive")
+        if self.capacity_bytes % self.line_bytes:
+            raise ValueError(f"{self.name}: capacity not a multiple of line")
+        if self.associativity <= 0:
+            raise ValueError(f"{self.name}: associativity must be positive")
+        if not 0 < self.effective_capacity_factor <= 1:
+            raise ValueError(f"{self.name}: capacity factor in (0, 1]")
+
+    @property
+    def lines(self) -> int:
+        """Total cache lines."""
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return max(1, self.lines // self.associativity)
+
+    @property
+    def effective_lines(self) -> int:
+        """Lines available under the stack-distance approximation."""
+        return max(1, int(self.lines * self.effective_capacity_factor))
+
+
+#: Milan-like per-core hierarchy used throughout the study.
+MILAN_L1 = CacheConfig("L1", 32 * 1024, hit_penalty_cycles=0.0)
+MILAN_L2 = CacheConfig("L2", 512 * 1024, hit_penalty_cycles=8.0)
+MILAN_LLC = CacheConfig("LLC", 32 * 1024 * 1024, associativity=16,
+                        hit_penalty_cycles=20.0)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Per-level access outcome counts for one simulated trace."""
+
+    instructions: int
+    mem_accesses: int
+    l1_hits: int
+    l2_hits: int
+    llc_hits: int
+    dram_accesses: int
+
+    def __post_init__(self) -> None:
+        total = self.l1_hits + self.l2_hits + self.llc_hits + self.dram_accesses
+        if total != self.mem_accesses:
+            raise ValueError(
+                f"outcome counts {total} != mem accesses {self.mem_accesses}")
+
+    @property
+    def llc_accesses(self) -> int:
+        """Accesses reaching the LLC (missed L1 and L2)."""
+        return self.llc_hits + self.dram_accesses
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """LLC misses / LLC accesses — the quantity Fig. 7 plots."""
+        if self.llc_accesses == 0:
+            return 0.0
+        return self.dram_accesses / self.llc_accesses
+
+    @property
+    def dram_per_instruction(self) -> float:
+        """DRAM (LLC-miss) accesses per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.dram_accesses / self.instructions
+
+    @property
+    def mem_ratio(self) -> float:
+        """Memory accesses per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.mem_accesses / self.instructions
+
+
+@dataclass
+class CacheHierarchy:
+    """A three-level hierarchy used by the fast simulator."""
+
+    l1: CacheConfig = field(default_factory=lambda: MILAN_L1)
+    l2: CacheConfig = field(default_factory=lambda: MILAN_L2)
+    llc: CacheConfig = field(default_factory=lambda: MILAN_LLC)
+
+    def __post_init__(self) -> None:
+        if not (self.l1.lines < self.l2.lines < self.llc.lines):
+            raise ValueError("hierarchy levels must strictly grow")
+
+    def level_line_thresholds(self) -> tuple[int, int, int]:
+        """Effective line capacities (L1, L2, LLC)."""
+        return (self.l1.effective_lines, self.l2.effective_lines,
+                self.llc.effective_lines)
+
+
+def simulate_hierarchy(stack_distances: np.ndarray, instructions: int,
+                       hierarchy: CacheHierarchy | None = None) -> CacheStats:
+    """Classify every access by its LRU stack distance (vectorized).
+
+    Parameters
+    ----------
+    stack_distances:
+        Per-access LRU stack distance in *lines* (0 = re-reference of
+        the most recent line). ``np.inf`` (or any huge value) denotes a
+        cold/compulsory miss.
+    instructions:
+        Total instructions the trace represents (memory + non-memory).
+    """
+    hierarchy = hierarchy if hierarchy is not None else CacheHierarchy()
+    sd = np.asarray(stack_distances)
+    if sd.ndim != 1:
+        raise ValueError("stack_distances must be 1-D")
+    if instructions < sd.size:
+        raise ValueError("instructions cannot be fewer than memory accesses")
+    c1, c2, c3 = hierarchy.level_line_thresholds()
+    in_l1 = sd < c1
+    in_l2 = sd < c2
+    in_llc = sd < c3
+    l1_hits = int(np.count_nonzero(in_l1))
+    l2_hits = int(np.count_nonzero(in_l2 & ~in_l1))
+    llc_hits = int(np.count_nonzero(in_llc & ~in_l2))
+    dram = int(sd.size - l1_hits - l2_hits - llc_hits)
+    return CacheStats(instructions=instructions, mem_accesses=int(sd.size),
+                      l1_hits=l1_hits, l2_hits=l2_hits,
+                      llc_hits=llc_hits, dram_accesses=dram)
+
+
+class SetAssociativeCache:
+    """Exact set-associative LRU cache over byte addresses.
+
+    Pure-Python reference implementation used by tests to validate the
+    fast stack-distance model and to study conflict behaviour on small
+    traces. ``access`` returns True on hit and updates LRU state.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # Each set is an ordered list of tags, most recent last.
+        self._sets: list[list[int]] = [[] for _ in range(config.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.sets, line // self.config.sets
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns hit/miss and updates state."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        ways.append(tag)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)  # evict LRU
+        self.misses += 1
+        return False
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Clear all state and counters."""
+        self._sets = [[] for _ in range(self.config.sets)]
+        self.hits = 0
+        self.misses = 0
+
+
+class ExactHierarchy:
+    """Three exact LRU caches with inclusive lookup ordering.
+
+    Used for validation: feeds each address to L1, then L2 on L1 miss,
+    then LLC on L2 miss, and counts where each access was serviced.
+    """
+
+    def __init__(self, l1: CacheConfig | None = None,
+                 l2: CacheConfig | None = None,
+                 llc: CacheConfig | None = None) -> None:
+        self.l1 = SetAssociativeCache(l1 if l1 is not None else MILAN_L1)
+        self.l2 = SetAssociativeCache(l2 if l2 is not None else MILAN_L2)
+        self.llc = SetAssociativeCache(llc if llc is not None else MILAN_LLC)
+        self.serviced = {"L1": 0, "L2": 0, "LLC": 0, "DRAM": 0}
+
+    def access(self, address: int) -> str:
+        """Access an address; returns the servicing level's name."""
+        if self.l1.access(address):
+            self.serviced["L1"] += 1
+            return "L1"
+        if self.l2.access(address):
+            self.serviced["L2"] += 1
+            return "L2"
+        if self.llc.access(address):
+            self.serviced["LLC"] += 1
+            return "LLC"
+        self.serviced["DRAM"] += 1
+        return "DRAM"
+
+    def stats(self, instructions: int) -> CacheStats:
+        """Convert counters to :class:`CacheStats`."""
+        total = sum(self.serviced.values())
+        return CacheStats(instructions=instructions, mem_accesses=total,
+                          l1_hits=self.serviced["L1"],
+                          l2_hits=self.serviced["L2"],
+                          llc_hits=self.serviced["LLC"],
+                          dram_accesses=self.serviced["DRAM"])

@@ -1,0 +1,93 @@
+"""In-order pipelined core timing model (§VI-B).
+
+In-order cores expose memory latency directly: the pipeline hides L1
+hit latency but stalls for the full service time of every miss. The
+paper uses them precisely because they "provide clear insight into the
+impact of memory latency".
+
+Cycle accounting per simulated window::
+
+    cycles = instructions * cpi_base
+           + l2_serviced * l2_penalty
+           + llc_serviced * llc_penalty
+           + dram_serviced * (llc_penalty + dram_latency_cycles)
+
+where per-level penalties come from the cache configuration and the
+DRAM latency from :class:`~repro.cpu.memory.MemoryModel` (including
+any disaggregation adder). DRAM accesses traverse the LLC on their way
+out, hence the ``llc_penalty`` term on the miss path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.caches import CacheHierarchy, CacheStats
+from repro.cpu.memory import MemoryModel
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Cycle breakdown for one simulated window."""
+
+    cycles: float
+    compute_cycles: float
+    l2_stall_cycles: float
+    llc_stall_cycles: float
+    dram_stall_cycles: float
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        """Fraction of cycles stalled beyond L1."""
+        stalls = (self.l2_stall_cycles + self.llc_stall_cycles
+                  + self.dram_stall_cycles)
+        return stalls / self.cycles if self.cycles else 0.0
+
+    @property
+    def llc_miss_cycles(self) -> float:
+        """Cycles attributable to LLC misses (the 50-150% metric)."""
+        return self.dram_stall_cycles
+
+
+@dataclass(frozen=True)
+class InOrderCore:
+    """Single in-order pipelined core.
+
+    Parameters
+    ----------
+    cpi_base:
+        Cycles per instruction with a perfect memory system (captures
+        issue width and non-memory execution).
+    hierarchy:
+        Cache configuration providing per-level penalties.
+    """
+
+    cpi_base: float = 1.0
+    hierarchy: CacheHierarchy = field(default_factory=CacheHierarchy)
+
+    def __post_init__(self) -> None:
+        if self.cpi_base <= 0:
+            raise ValueError("cpi_base must be positive")
+
+    def execute(self, stats: CacheStats, memory: MemoryModel) -> CoreResult:
+        """Timing for one trace window under a memory model."""
+        compute = stats.instructions * self.cpi_base
+        l2_stall = stats.l2_hits * self.hierarchy.l2.hit_penalty_cycles
+        llc_stall = stats.llc_hits * self.hierarchy.llc.hit_penalty_cycles
+        dram_stall = stats.dram_accesses * (
+            self.hierarchy.llc.hit_penalty_cycles
+            + memory.total_latency_cycles)
+        return CoreResult(
+            cycles=compute + l2_stall + llc_stall + dram_stall,
+            compute_cycles=compute,
+            l2_stall_cycles=l2_stall,
+            llc_stall_cycles=llc_stall,
+            dram_stall_cycles=dram_stall)
+
+    def slowdown(self, stats: CacheStats, baseline: MemoryModel,
+                 extra_latency_ns: float) -> float:
+        """Relative execution-time increase from a disaggregation adder."""
+        base = self.execute(stats, baseline).cycles
+        disagg = self.execute(stats,
+                              baseline.with_extra(extra_latency_ns)).cycles
+        return disagg / base - 1.0

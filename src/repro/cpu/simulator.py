@@ -1,0 +1,96 @@
+"""CPU simulation facade: trace -> caches -> core timing -> slowdown.
+
+Ties the substrate together the way the paper's gem5 flow does:
+generate (synthesize) the benchmark's memory trace, run it through the
+cache hierarchy, and time it on an in-order and an out-of-order core
+with and without the disaggregation latency adder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.caches import CacheHierarchy, CacheStats, simulate_hierarchy
+from repro.cpu.core_inorder import InOrderCore
+from repro.cpu.core_ooo import OutOfOrderCore
+from repro.cpu.memory import MemoryModel
+from repro.cpu.trace import TraceSpec, generate_trace
+
+
+@dataclass(frozen=True)
+class SlowdownResult:
+    """Outcome of one benchmark x core-type x latency point."""
+
+    name: str
+    core: str                     # "inorder" | "ooo"
+    extra_latency_ns: float
+    slowdown: float               # relative execution-time increase
+    llc_miss_rate: float          # misses / LLC accesses
+    dram_per_instruction: float
+    memory_stall_fraction: float  # of baseline cycles
+    miss_cycle_inflation: float   # growth of LLC miss cycles
+
+    @property
+    def speedup_vs(self) -> float:
+        """1 + slowdown (execution-time ratio vs. zero-adder baseline)."""
+        return 1.0 + self.slowdown
+
+
+@dataclass
+class CPUSimulator:
+    """Runs benchmarks through the full CPU substrate.
+
+    Parameters
+    ----------
+    hierarchy:
+        Cache configuration (defaults to the Milan-like hierarchy).
+    memory:
+        Baseline memory model (zero adder).
+    """
+
+    hierarchy: CacheHierarchy = field(default_factory=CacheHierarchy)
+    memory: MemoryModel = field(default_factory=MemoryModel)
+
+    def cache_stats(self, spec: TraceSpec, seed: int | None = None
+                    ) -> CacheStats:
+        """Synthesize the trace and classify it through the hierarchy."""
+        trace = generate_trace(spec, hierarchy=self.hierarchy, seed=seed)
+        return simulate_hierarchy(trace.stack_distances, spec.instructions,
+                                  self.hierarchy)
+
+    def run(self, spec: TraceSpec, core: InOrderCore | OutOfOrderCore,
+            extra_latency_ns: float, core_label: str,
+            stats: CacheStats | None = None) -> SlowdownResult:
+        """One benchmark on one core with one latency adder."""
+        if stats is None:
+            stats = self.cache_stats(spec)
+        baseline = self.memory
+        base_result = core.execute(stats, baseline)
+        disagg = core.execute(stats, baseline.with_extra(extra_latency_ns))
+        base_miss = base_result.llc_miss_cycles
+        inflation = ((disagg.llc_miss_cycles - base_miss) / base_miss
+                     if base_miss > 0 else 0.0)
+        return SlowdownResult(
+            name=spec.name,
+            core=core_label,
+            extra_latency_ns=extra_latency_ns,
+            slowdown=disagg.cycles / base_result.cycles - 1.0,
+            llc_miss_rate=stats.llc_miss_rate,
+            dram_per_instruction=stats.dram_per_instruction,
+            memory_stall_fraction=base_result.memory_stall_fraction,
+            miss_cycle_inflation=inflation)
+
+    def run_inorder(self, spec: TraceSpec, extra_latency_ns: float,
+                    cpi_base: float = 1.0,
+                    stats: CacheStats | None = None) -> SlowdownResult:
+        """Convenience wrapper for the in-order core."""
+        core = InOrderCore(cpi_base=cpi_base, hierarchy=self.hierarchy)
+        return self.run(spec, core, extra_latency_ns, "inorder", stats)
+
+    def run_ooo(self, spec: TraceSpec, extra_latency_ns: float,
+                cpi_exec: float = 0.45, mlp: float = 2.0,
+                stats: CacheStats | None = None) -> SlowdownResult:
+        """Convenience wrapper for the OOO core."""
+        core = OutOfOrderCore(cpi_exec=cpi_exec, mlp=mlp,
+                              hierarchy=self.hierarchy)
+        return self.run(spec, core, extra_latency_ns, "ooo", stats)

@@ -1,0 +1,136 @@
+"""Synthetic memory-trace generation.
+
+A benchmark's locality is described by a :class:`TraceSpec` whose four
+*reuse pools* correspond to the hierarchy levels: a fraction of
+accesses re-reference data resident within L1-sized, L2-sized,
+LLC-sized, or beyond-LLC footprints. The generator draws each access's
+LRU stack distance from the pool mixture — uniform within the pool's
+line range — producing a stream whose per-level hit rates match the
+benchmark's characterization *in expectation* while remaining a real
+per-access stochastic trace (seeded, reproducible, with sampling
+noise like any measured run).
+
+This is the calibration interface between published benchmark
+characteristics (PARSEC/NAS/Rodinia cache behaviour) and the cache
+simulator — see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.caches import CacheHierarchy
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Locality characterization of one benchmark run.
+
+    Parameters
+    ----------
+    name:
+        Benchmark identifier ("parsec.streamcluster.large").
+    instructions:
+        Instructions the synthesized window represents.
+    mem_ratio:
+        Memory accesses per instruction (loads + stores), in (0, 1].
+    l1_fraction, l2_fraction, llc_fraction:
+        Fractions of memory accesses whose reuse distance lands within
+        the L1 / L2 / LLC effective capacity. The remainder
+        (``dram_fraction``) misses the LLC.
+    """
+
+    name: str
+    instructions: int
+    mem_ratio: float
+    l1_fraction: float
+    l2_fraction: float
+    llc_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError(f"{self.name}: instructions must be positive")
+        if not 0 < self.mem_ratio <= 1:
+            raise ValueError(f"{self.name}: mem_ratio must be in (0, 1]")
+        for label, frac in (("l1", self.l1_fraction),
+                            ("l2", self.l2_fraction),
+                            ("llc", self.llc_fraction)):
+            if frac < 0:
+                raise ValueError(f"{self.name}: {label}_fraction negative")
+        if self.l1_fraction + self.l2_fraction + self.llc_fraction > 1 + 1e-12:
+            raise ValueError(f"{self.name}: hit fractions exceed 1")
+
+    @property
+    def dram_fraction(self) -> float:
+        """Fraction of memory accesses that miss the LLC."""
+        return max(0.0, 1.0 - self.l1_fraction - self.l2_fraction
+                   - self.llc_fraction)
+
+    @property
+    def mem_accesses(self) -> int:
+        """Memory accesses in the synthesized window."""
+        return max(1, int(round(self.instructions * self.mem_ratio)))
+
+    @property
+    def expected_llc_miss_rate(self) -> float:
+        """Expected misses / LLC accesses (the Fig. 7 x-axis)."""
+        reaching = self.llc_fraction + self.dram_fraction
+        if reaching <= 0:
+            return 0.0
+        return self.dram_fraction / reaching
+
+
+@dataclass(frozen=True)
+class SyntheticTrace:
+    """A generated trace: per-access stack distances plus metadata."""
+
+    spec: TraceSpec
+    stack_distances: np.ndarray
+
+    @property
+    def mem_accesses(self) -> int:
+        """Length of the access stream."""
+        return int(self.stack_distances.size)
+
+
+def generate_trace(spec: TraceSpec,
+                   hierarchy: CacheHierarchy | None = None,
+                   seed: int | None = None) -> SyntheticTrace:
+    """Synthesize the access stream for a :class:`TraceSpec`.
+
+    Each access picks a reuse pool by the spec's fractions and draws a
+    stack distance uniformly within that pool's line range:
+
+    * L1 pool: ``[0, c1)``
+    * L2 pool: ``[c1, c2)``
+    * LLC pool: ``[c2, c3)``
+    * DRAM pool: ``[c3, 4*c3)`` — beyond-LLC reuse plus cold misses.
+
+    where ``c1 < c2 < c3`` are the hierarchy's effective line
+    capacities, so the cache simulator recovers the spec's hit
+    fractions up to sampling noise.
+    """
+    hierarchy = hierarchy if hierarchy is not None else CacheHierarchy()
+    c1, c2, c3 = hierarchy.level_line_thresholds()
+    n = spec.mem_accesses
+    rng = np.random.default_rng(seed if seed is not None
+                                else _stable_seed(spec.name))
+    probs = np.array([spec.l1_fraction, spec.l2_fraction,
+                      spec.llc_fraction, spec.dram_fraction])
+    probs = probs / probs.sum()
+    pool = rng.choice(4, size=n, p=probs)
+    u = rng.random(n)
+    lows = np.array([0, c1, c2, c3], dtype=float)
+    highs = np.array([c1, c2, c3, 4 * c3], dtype=float)
+    sd = lows[pool] + u * (highs[pool] - lows[pool])
+    return SyntheticTrace(spec=spec, stack_distances=sd)
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic seed from a benchmark name (stable across runs)."""
+    h = 2166136261
+    for ch in name.encode():
+        h = (h ^ ch) * 16777619 % (1 << 32)
+    return h

@@ -1,0 +1,17 @@
+"""GPU performance substrate (PPT-GPU substitute).
+
+An analytical NVIDIA-A100-like model in the style of PPT-GPU [121]:
+kernels are characterized by instruction counts, memory-transaction
+rates, LLC miss rates, and achieved occupancy; the model composes
+compute throughput, HBM bandwidth, and *exposed* memory latency (what
+the warp scheduler fails to hide) into predicted cycles. The paper's
+§VI-B3 study adds 25/30/35 ns between the GPU LLC and HBM and reports
+the predicted-cycle inflation; we reproduce that path.
+"""
+
+from repro.gpu.kernels import KernelSpec, ApplicationSpec
+from repro.gpu.memory import GPUMemoryModel
+from repro.gpu.model import A100Model, GPUResult
+
+__all__ = ["KernelSpec", "ApplicationSpec", "GPUMemoryModel",
+           "A100Model", "GPUResult"]

@@ -1,0 +1,120 @@
+"""GPU kernel and application descriptors.
+
+PPT-GPU consumes per-kernel SASS instruction/memory traces; our
+substitute consumes the per-kernel aggregates those traces reduce to
+in an analytical model: instruction count, memory transactions per
+instruction, LLC miss rate, and achieved occupancy. An application is
+a weighted bag of kernels (the paper's 24 apps span 1525 kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Aggregate characterization of one GPU kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier.
+    instructions:
+        Total executed warp-instructions.
+    mem_txn_per_instr:
+        L2/LLC transactions per warp-instruction (coalesced).
+    llc_miss_rate:
+        Fraction of LLC transactions serviced by HBM.
+    occupancy:
+        Achieved occupancy (active warps / maximum), in (0, 1].
+    ilp:
+        Instruction-level parallelism factor within a warp (mildly
+        increases latency hiding).
+    """
+
+    name: str
+    instructions: int
+    mem_txn_per_instr: float
+    llc_miss_rate: float
+    occupancy: float
+    ilp: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError(f"{self.name}: instructions must be positive")
+        if self.mem_txn_per_instr < 0:
+            raise ValueError(f"{self.name}: mem_txn_per_instr must be >= 0")
+        if not 0 <= self.llc_miss_rate <= 1:
+            raise ValueError(f"{self.name}: llc_miss_rate must be in [0, 1]")
+        if not 0 < self.occupancy <= 1:
+            raise ValueError(f"{self.name}: occupancy must be in (0, 1]")
+        if self.ilp < 1:
+            raise ValueError(f"{self.name}: ilp must be >= 1")
+
+    @property
+    def hbm_txn_per_instr(self) -> float:
+        """HBM transactions per instruction (the Fig. 10 x-axis)."""
+        return self.mem_txn_per_instr * self.llc_miss_rate
+
+    @property
+    def hbm_transactions(self) -> float:
+        """Total HBM transactions of the kernel."""
+        return self.instructions * self.hbm_txn_per_instr
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """An application as a bag of kernels.
+
+    Parameters
+    ----------
+    name:
+        Application identifier ("rodinia.gaussian").
+    suite:
+        Benchmark suite label ("rodinia-gpu", "polybench", "tango").
+    kernels:
+        The kernels the application launches (weights folded into each
+        kernel's instruction count).
+    """
+
+    name: str
+    suite: str
+    kernels: tuple[KernelSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError(f"{self.name}: needs at least one kernel")
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions across kernels."""
+        return sum(k.instructions for k in self.kernels)
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """Transaction-weighted LLC miss rate."""
+        txns = sum(k.instructions * k.mem_txn_per_instr for k in self.kernels)
+        if txns == 0:
+            return 0.0
+        missed = sum(k.instructions * k.mem_txn_per_instr * k.llc_miss_rate
+                     for k in self.kernels)
+        return missed / txns
+
+    @property
+    def hbm_txn_per_instr(self) -> float:
+        """Application-level HBM transactions per instruction."""
+        return (sum(k.hbm_transactions for k in self.kernels)
+                / self.instructions)
+
+    def single_kernel(self) -> KernelSpec:
+        """Collapse to one equivalent kernel (instruction-weighted)."""
+        total = self.instructions
+        mem = sum(k.instructions * k.mem_txn_per_instr
+                  for k in self.kernels) / total
+        occ = sum(k.instructions * k.occupancy for k in self.kernels) / total
+        ilp = sum(k.instructions * k.ilp for k in self.kernels) / total
+        return KernelSpec(name=self.name, instructions=total,
+                          mem_txn_per_instr=mem,
+                          llc_miss_rate=self.llc_miss_rate,
+                          occupancy=occ, ilp=ilp)

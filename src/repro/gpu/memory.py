@@ -1,0 +1,82 @@
+"""GPU memory-system model (A100-like HBM behind a device LLC)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import ns_to_cycles
+
+
+@dataclass(frozen=True)
+class GPUMemoryModel:
+    """HBM latency/bandwidth as seen past the GPU LLC.
+
+    Parameters
+    ----------
+    hbm_latency_ns:
+        Loaded LLC-miss-to-HBM-data latency in the baseline (A100 HBM2e
+        measures ~290-480 cycles; we use the loaded mid-range).
+    extra_latency_ns:
+        Disaggregation adder between LLC and HBM (the study's knob).
+    hbm_bandwidth_gbyte_s:
+        Peak HBM bandwidth (1555.2 for A100-40GB).
+    llc_latency_ns:
+        LLC hit service time (exposed part folded into the model).
+    clock_ghz:
+        SM clock (1.41 GHz for A100).
+    txn_bytes:
+        Bytes per memory transaction (one 32B sector x 2 in practice;
+        we use a 64 B effective transaction).
+    """
+
+    hbm_latency_ns: float = 220.0
+    extra_latency_ns: float = 0.0
+    hbm_bandwidth_gbyte_s: float = 1555.2
+    llc_latency_ns: float = 140.0
+    clock_ghz: float = 1.41
+    txn_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.hbm_latency_ns <= 0 or self.llc_latency_ns < 0:
+            raise ValueError("latencies must be positive")
+        if self.extra_latency_ns < 0:
+            raise ValueError("extra latency must be >= 0")
+        if self.hbm_bandwidth_gbyte_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+
+    @property
+    def total_hbm_latency_ns(self) -> float:
+        """HBM service latency including the adder."""
+        return self.hbm_latency_ns + self.extra_latency_ns
+
+    @property
+    def total_hbm_latency_cycles(self) -> float:
+        """As SM cycles."""
+        return ns_to_cycles(self.total_hbm_latency_ns, self.clock_ghz)
+
+    @property
+    def llc_latency_cycles(self) -> float:
+        """LLC service latency in SM cycles."""
+        return ns_to_cycles(self.llc_latency_ns, self.clock_ghz)
+
+    def with_extra(self, extra_latency_ns: float) -> "GPUMemoryModel":
+        """Copy with a different disaggregation adder."""
+        return GPUMemoryModel(
+            hbm_latency_ns=self.hbm_latency_ns,
+            extra_latency_ns=extra_latency_ns,
+            hbm_bandwidth_gbyte_s=self.hbm_bandwidth_gbyte_s,
+            llc_latency_ns=self.llc_latency_ns,
+            clock_ghz=self.clock_ghz,
+            txn_bytes=self.txn_bytes)
+
+    def bandwidth_cycles(self, hbm_transactions: float) -> float:
+        """Wall-clock cycles to stream ``hbm_transactions`` at peak BW.
+
+        Device-wide: the transactions share the full HBM bandwidth, so
+        the time is bytes / bandwidth converted to SM-clock cycles.
+        """
+        bytes_total = hbm_transactions * self.txn_bytes
+        seconds = bytes_total / (self.hbm_bandwidth_gbyte_s * 1e9)
+        return seconds * self.clock_ghz * 1e9

@@ -1,0 +1,56 @@
+"""Photonic network substrate: wavelength allocation, indirect routing,
+piggybacked state, a flow-level simulator, and the electronic comparator.
+
+Implements the control logic of paper §IV over the fabric plans of
+:mod:`repro.rack.design`, plus the §VI-D electronic-switch latency
+model used as the comparison point for Fig. 12.
+"""
+
+from repro.network.wavelength import WavelengthAllocator
+from repro.network.state import OccupancyBoard, PiggybackState
+from repro.network.routing import (
+    IndirectRouter,
+    RouteDecision,
+    RouteKind,
+)
+from repro.network.traffic import (
+    Flow,
+    uniform_traffic,
+    hotspot_traffic,
+    cpu_memory_traffic,
+    gpu_allreduce_traffic,
+)
+from repro.network.simulator import AWGRNetworkSimulator, SimulationReport
+from repro.network.electronic import (
+    ElectronicSwitch,
+    ELECTRONIC_CATALOG,
+    electronic_disaggregation_latency_ns,
+)
+from repro.network.topology import (
+    awgr_connectivity_graph,
+    wss_connectivity_graph,
+)
+from repro.network.reconfig import (
+    ReconfigurableFabric,
+    SwitchConfiguration,
+    schedule_demand,
+    reconfiguration_overhead_ok,
+)
+from repro.network.wss_simulator import (
+    WSSNetworkSimulator,
+    WSSSimulationReport,
+)
+
+__all__ = [
+    "WavelengthAllocator", "OccupancyBoard", "PiggybackState",
+    "IndirectRouter", "RouteDecision", "RouteKind",
+    "Flow", "uniform_traffic", "hotspot_traffic", "cpu_memory_traffic",
+    "gpu_allreduce_traffic",
+    "AWGRNetworkSimulator", "SimulationReport",
+    "ElectronicSwitch", "ELECTRONIC_CATALOG",
+    "electronic_disaggregation_latency_ns",
+    "awgr_connectivity_graph", "wss_connectivity_graph",
+    "ReconfigurableFabric", "SwitchConfiguration", "schedule_demand",
+    "reconfiguration_overhead_ok",
+    "WSSNetworkSimulator", "WSSSimulationReport",
+]

@@ -1,0 +1,255 @@
+"""Reconfigurable fabric model for case (B) — spatial / wave-selective
+switches with a centralized scheduler (paper §III-D3, §IV-B, §VI-A).
+
+Unlike AWGRs (passive, all pairs always reachable on one wavelength),
+spatial and wave-selective switches must be *configured*: a switch
+holds a mapping from (input port, wavelength subset) to output port.
+Changing it costs ``reconfig_time`` (tens of ns to tens of ms
+depending on technology) during which the affected ports carry no
+traffic, and the mapping is computed by a centralized scheduler from a
+demand estimate — the overhead and imperfect-decision source the paper
+cites for preferring AWGRs.
+
+The model here is wavelength-granular per switch: each of a switch's
+ports carries W wavelengths; the scheduler assigns, per input port,
+how many of its wavelengths point at each output port. The demand-
+driven scheduler is a greedy water-filling heuristic (proportional to
+demand, max-min fair for remainders), which is the style of solution a
+real controller would compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SwitchConfiguration:
+    """One switch's wavelength assignment.
+
+    ``assignment[i, j]`` = wavelengths that input port ``i`` currently
+    steers toward output port ``j``. Row sums may not exceed the
+    wavelengths per port.
+    """
+
+    radix: int
+    wavelengths_per_port: int
+    assignment: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.radix <= 1:
+            raise ValueError("radix must exceed 1")
+        if self.wavelengths_per_port <= 0:
+            raise ValueError("wavelengths_per_port must be positive")
+        if self.assignment is None:
+            self.assignment = np.zeros((self.radix, self.radix),
+                                       dtype=np.int64)
+        self.validate()
+
+    def validate(self) -> None:
+        """Check conservation: no port over-commits its wavelengths."""
+        if self.assignment.shape != (self.radix, self.radix):
+            raise ValueError("assignment has wrong shape")
+        if (self.assignment < 0).any():
+            raise ValueError("negative wavelength assignment")
+        row = self.assignment.sum(axis=1)
+        if (row > self.wavelengths_per_port).any():
+            raise ValueError("input port over-committed")
+        # Wave-selective constraint: an output port cannot receive more
+        # wavelengths than it can carry either.
+        col = self.assignment.sum(axis=0)
+        if (col > self.wavelengths_per_port).any():
+            raise ValueError("output port over-committed")
+
+    def pair_gbps(self, src: int, dst: int,
+                  gbps_per_wavelength: float = 25.0) -> float:
+        """Configured bandwidth from input ``src`` to output ``dst``."""
+        return float(self.assignment[src, dst]) * gbps_per_wavelength
+
+    def ports_changed(self, other: "SwitchConfiguration") -> int:
+        """Input ports whose steering differs from ``other``.
+
+        Reconfiguration disturbs only the ports whose assignment
+        changes; this is what the fabric charges downtime for.
+        """
+        if other.assignment.shape != self.assignment.shape:
+            raise ValueError("configurations have different shapes")
+        diff = (self.assignment != other.assignment).any(axis=1)
+        return int(np.count_nonzero(diff))
+
+
+def schedule_demand(demand: np.ndarray, wavelengths_per_port: int,
+                    stagger: int = 0) -> np.ndarray:
+    """Centralized scheduler: demand matrix -> wavelength assignment.
+
+    Greedy proportional water-filling: each input port splits its
+    wavelengths across destinations proportionally to demand (floor),
+    then the largest fractional remainders get the leftovers, subject
+    to output-port capacity. Zero-demand rows fall back to a uniform
+    spread so the fabric retains all-to-all reachability (the paper's
+    "small number of ports left unconnected" spirit).
+
+    Parameters
+    ----------
+    demand:
+        (N, N) nonnegative demand estimate (any units; only ratios
+        matter). The diagonal is ignored.
+    wavelengths_per_port:
+        Wavelength budget per input *and* output port.
+    stagger:
+        Tie-breaking rotation. Parallel switches pass their own index
+        here so fractional-remainder leftovers land on *different*
+        destination subsets per switch — otherwise every switch makes
+        the same choice and the losing pairs get nothing fabric-wide.
+    """
+    demand = np.asarray(demand, dtype=float)
+    if demand.ndim != 2 or demand.shape[0] != demand.shape[1]:
+        raise ValueError("demand must be square")
+    if (demand < 0).any():
+        raise ValueError("demand must be nonnegative")
+    n = demand.shape[0]
+    w = wavelengths_per_port
+    demand = demand.copy()
+    np.fill_diagonal(demand, 0.0)
+
+    assignment = np.zeros((n, n), dtype=np.int64)
+    out_capacity = np.full(n, w, dtype=np.int64)
+    active = [s for s in range(n) if demand[s].sum() > 0]
+    idle = [s for s in range(n) if demand[s].sum() <= 0]
+
+    # Pass 1: sources with demand claim output capacity first, so
+    # idle sources' reachability fallback cannot starve real traffic.
+    for src in active:
+        row = demand[src]
+        share = row / row.sum() * w
+        base = np.floor(share).astype(np.int64)
+        base = np.minimum(base, out_capacity)
+        assignment[src] = base
+        out_capacity -= base
+        leftover = w - int(base.sum())
+        remainders = share - np.floor(share)
+        # Stagger breaks remainder ties (and near-ties) differently on
+        # each parallel switch.
+        bias = ((np.arange(n) - stagger) % n) / (4.0 * n)
+        for dst in np.argsort(-(remainders - bias)):
+            if leftover == 0:
+                break
+            if dst == src or row[dst] <= 0:
+                continue
+            if out_capacity[dst] > 0:
+                assignment[src, dst] += 1
+                out_capacity[dst] -= 1
+                leftover -= 1
+
+    # Pass 2: idle sources spread one wavelength toward each peer with
+    # spare output capacity (all-to-all reachability, §V-B spirit).
+    for src in idle:
+        budget = w
+        for dst in np.argsort(-out_capacity):
+            if dst == src or budget == 0:
+                continue
+            if out_capacity[dst] > 0:
+                assignment[src, dst] += 1
+                out_capacity[dst] -= 1
+                budget -= 1
+    return assignment
+
+
+@dataclass
+class ReconfigurableFabric:
+    """A bank of parallel reconfigurable switches plus their scheduler.
+
+    Parameters
+    ----------
+    n_switches, radix, wavelengths_per_port:
+        Fabric dimensions (11 x 256 x 256 for the paper's case B).
+    gbps_per_wavelength:
+        Line rate.
+    reconfig_time_s:
+        Time one reconfiguration takes (1 ms default — the middle of
+        the paper's "tens of nanoseconds to tens of milliseconds").
+    scheduler_latency_s:
+        Time the centralized scheduler needs to compute and distribute
+        a new configuration.
+    """
+
+    n_switches: int = 11
+    radix: int = 256
+    wavelengths_per_port: int = 256
+    gbps_per_wavelength: float = 25.0
+    reconfig_time_s: float = 1e-3
+    scheduler_latency_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.n_switches <= 0:
+            raise ValueError("n_switches must be positive")
+        if self.reconfig_time_s < 0 or self.scheduler_latency_s < 0:
+            raise ValueError("times must be >= 0")
+        self.configs = [SwitchConfiguration(self.radix,
+                                            self.wavelengths_per_port)
+                        for _ in range(self.n_switches)]
+        self.reconfigurations = 0
+        self.ports_disturbed = 0
+        self.time_reconfiguring_s = 0.0
+
+    def reconfigure(self, demand: np.ndarray) -> None:
+        """Apply the centralized scheduler to all switches.
+
+        Demand is split evenly across the parallel switches (each sees
+        1/n of the traffic), matching how an operator would stripe.
+        """
+        per_switch = np.asarray(demand, dtype=float) / self.n_switches
+        for i, old in enumerate(self.configs):
+            stagger = (i * self.radix) // max(1, self.n_switches)
+            new = SwitchConfiguration(
+                self.radix, self.wavelengths_per_port,
+                schedule_demand(per_switch, self.wavelengths_per_port,
+                                stagger=stagger))
+            self.ports_disturbed += new.ports_changed(old)
+            self.configs[i] = new
+        self.reconfigurations += 1
+        self.time_reconfiguring_s += (self.scheduler_latency_s
+                                      + self.reconfig_time_s)
+
+    def pair_gbps(self, src: int, dst: int) -> float:
+        """Configured bandwidth between two ports across all switches."""
+        return sum(cfg.pair_gbps(src, dst, self.gbps_per_wavelength)
+                   for cfg in self.configs)
+
+    def served_fraction(self, demand: np.ndarray) -> float:
+        """Fraction of offered demand the current configuration carries.
+
+        min(demand, configured) summed over pairs / total demand.
+        """
+        demand = np.asarray(demand, dtype=float)
+        configured = sum(
+            cfg.assignment.astype(float) * self.gbps_per_wavelength
+            for cfg in self.configs)
+        d = demand.copy()
+        np.fill_diagonal(d, 0.0)
+        total = d.sum()
+        if total <= 0:
+            return 1.0
+        return float(np.minimum(d, configured).sum() / total)
+
+    def availability(self, window_s: float) -> float:
+        """Fraction of a window the fabric was not reconfiguring."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        return max(0.0, 1.0 - self.time_reconfiguring_s / window_s)
+
+
+def reconfiguration_overhead_ok(job_event_rate_hz: float,
+                                reconfig_time_s: float,
+                                budget_fraction: float = 0.01) -> bool:
+    """§III-D3's feasibility check.
+
+    Jobs start every few seconds and change traffic patterns slowly, so
+    even millisecond reconfiguration keeps the fabric busy less than
+    ``budget_fraction`` of the time.
+    """
+    if job_event_rate_hz < 0 or reconfig_time_s < 0:
+        raise ValueError("rates and times must be >= 0")
+    return job_event_rate_hz * reconfig_time_s <= budget_fraction

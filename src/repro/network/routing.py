@@ -1,0 +1,182 @@
+"""Indirect (Valiant-style) routing over parallel AWGRs (paper §IV).
+
+A source that needs more bandwidth toward a destination than its
+direct wavelengths provide splits traffic across intermediate nodes:
+traffic rides the source's direct wavelength to an intermediate ``i``,
+then ``i``'s direct wavelength to the destination. Candidates must
+look free in *both* hops according to the source's (possibly stale)
+piggybacked state; among candidates, one is chosen uniformly at random
+in a Valiant fashion, per flow (to keep packets of one flow in order).
+
+When stale state misleads the source and the chosen intermediate's
+onward wavelength is actually busy, the intermediate re-routes through
+a *second* intermediate (the paper's fallback), which we model with a
+bounded recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.network.state import PiggybackState
+from repro.network.wavelength import WavelengthAllocator
+
+
+class RouteKind(Enum):
+    """How a flow ended up being carried."""
+
+    DIRECT = "direct"
+    INDIRECT = "indirect"          # one intermediate
+    DOUBLE_INDIRECT = "double"     # stale-state fallback, two intermediates
+    BLOCKED = "blocked"
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Outcome of routing one flow.
+
+    ``path`` lists the node sequence (src, [mid...,] dst) when carried;
+    ``reservations`` records (src, dst, planes) tuples to release later.
+    """
+
+    kind: RouteKind
+    path: tuple[int, ...]
+    reservations: tuple[tuple[int, int, tuple[int, ...]], ...] = ()
+    used_stale_fallback: bool = False
+
+    @property
+    def hops(self) -> int:
+        """Photonic hops taken (0 when blocked)."""
+        return max(0, len(self.path) - 1)
+
+
+@dataclass
+class IndirectRouter:
+    """Per-source routing logic over a shared allocator.
+
+    Parameters
+    ----------
+    allocator:
+        Ground-truth wavelength occupancy (shared by all sources).
+    state:
+        Piggybacked-view model; when ``None`` the router consults the
+        allocator directly (perfect information).
+    max_fallback_depth:
+        How many times an intermediate may itself route indirectly
+        before the flow is blocked (1 reproduces the paper's
+        second-intermediate fallback).
+    """
+
+    allocator: WavelengthAllocator
+    state: PiggybackState | None = None
+    max_fallback_depth: int = 1
+    rng_seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.rng_seed)
+        self.stats = {kind: 0 for kind in RouteKind}
+        self.stale_mispredictions = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def route_flow(self, src: int, dst: int, slots: int = 1) -> RouteDecision:
+        """Route one flow of ``slots`` sub-slots from ``src`` to ``dst``.
+
+        Tries the direct wavelength first (§IV-A: "sources consider
+        indirect paths only if the direct bandwidth ... does not
+        suffice"), then a Valiant-chosen intermediate, then the
+        intermediate's own fallback.
+        """
+        if src == dst:
+            raise ValueError("source equals destination")
+        decision = self._route(src, dst, slots, depth=0)
+        self.stats[decision.kind] += 1
+        return decision
+
+    def release(self, decision: RouteDecision) -> None:
+        """Release every reservation of a carried flow."""
+        for (a, b, planes) in decision.reservations:
+            self.allocator.release(a, b, list(planes))
+
+    def candidate_intermediates(self, src: int, dst: int,
+                                slots: int = 1) -> np.ndarray:
+        """Intermediates that look free on both hops per src's view.
+
+        Vectorized: the first hop (src -> mid) always uses the source's
+        exact occupancy; the second hop (mid -> dst) uses the
+        piggybacked board when one exists.
+        """
+        first_free = self.allocator.free_slots_from(src) >= slots
+        if self.state is None:
+            second_free = self.allocator.free_slots_to(dst) >= slots
+        else:
+            board = self.state.board_of(src)
+            total = (self.allocator.planes
+                     * self.allocator.flows_per_wavelength)
+            second_free = board.view[:, dst] + slots <= total
+        ok = first_free & second_free
+        ok[src] = False
+        ok[dst] = False
+        return np.nonzero(ok)[0]
+
+    # -- internals ----------------------------------------------------------------
+
+    def _route(self, src: int, dst: int, slots: int, depth: int) -> RouteDecision:
+        # 1. Direct wavelength.
+        if self.allocator.has_capacity(src, dst, slots):
+            planes = self.allocator.allocate(src, dst, slots)
+            kind = RouteKind.DIRECT if depth == 0 else RouteKind.DOUBLE_INDIRECT
+            return RouteDecision(
+                kind=kind, path=(src, dst),
+                reservations=((src, dst, tuple(planes)),),
+                used_stale_fallback=depth > 0)
+
+        # 2. Valiant intermediate per the (possibly stale) local view.
+        candidates = self.candidate_intermediates(src, dst, slots)
+        self._rng.shuffle(candidates)
+        for mid in candidates:
+            mid = int(mid)
+            if not self.allocator.has_capacity(src, mid, slots):
+                # Stale view lied about our own first hop (cannot really
+                # happen with per-source truth, but kept for safety).
+                continue
+            first = self.allocator.allocate(src, mid, slots)
+            if self.allocator.has_capacity(mid, dst, slots):
+                second = self.allocator.allocate(mid, dst, slots)
+                return RouteDecision(
+                    kind=(RouteKind.INDIRECT if depth == 0
+                          else RouteKind.DOUBLE_INDIRECT),
+                    path=(src, mid, dst),
+                    reservations=((src, mid, tuple(first)),
+                                  (mid, dst, tuple(second))),
+                    used_stale_fallback=depth > 0)
+            # Stale information: the onward hop is actually busy. The
+            # intermediate performs its own indirect routing (§IV-A).
+            self.stale_mispredictions += 1
+            if depth < self.max_fallback_depth:
+                onward = self._route(mid, dst, slots, depth + 1)
+                if onward.kind is not RouteKind.BLOCKED:
+                    return RouteDecision(
+                        kind=RouteKind.DOUBLE_INDIRECT,
+                        path=(src,) + onward.path,
+                        reservations=((src, mid, tuple(first)),)
+                        + onward.reservations,
+                        used_stale_fallback=True)
+            self.allocator.release(src, mid, first)
+
+        return RouteDecision(kind=RouteKind.BLOCKED, path=(src,))
+
+    def _believed_free(self, viewer: int, a: int, b: int, slots: int) -> bool:
+        """Does ``viewer`` believe (a -> b) has capacity?
+
+        A source always knows its *own* occupancy exactly; other
+        sources' occupancy comes from the piggybacked board.
+        """
+        if a == b:
+            return False
+        if self.state is None or a == viewer:
+            return self.allocator.has_capacity(a, b, slots)
+        return self.state.board_of(viewer).believed_free(a, b, slots)

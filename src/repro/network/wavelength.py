@@ -1,0 +1,210 @@
+"""Wavelength occupancy tracking for parallel AWGR planes (§IV-A).
+
+An N-port AWGR dedicates exactly one wavelength to each ordered
+(source, destination) port pair, so with P parallel planes a source has
+P wavelengths toward each destination (ignoring extra-plane derating).
+The :class:`WavelengthAllocator` tracks which of those wavelengths are
+occupied by flows and supports the capacity queries the indirect
+router needs ("is the direct wavelength from 7 to 3 free?").
+
+Occupancy is tracked at flow granularity: each wavelength carries up to
+``flows_per_wavelength`` multiplexed flows (the paper's example encodes
+8 sub-slots per wavelength in the piggybacked status vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class WavelengthAllocator:
+    """Tracks per-(src, dst, plane) wavelength occupancy.
+
+    Parameters
+    ----------
+    n_nodes:
+        Attached MCM/endpoint count.
+    planes:
+        Parallel AWGR planes; each contributes one wavelength per
+        ordered pair.
+    flows_per_wavelength:
+        Multiplexing sub-slots per wavelength (8 in the paper's
+        status-vector sizing).
+    gbps_per_wavelength:
+        Line rate of one wavelength.
+    """
+
+    n_nodes: int
+    planes: int = 5
+    flows_per_wavelength: int = 8
+    gbps_per_wavelength: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 1:
+            raise ValueError("need at least two nodes")
+        if self.planes <= 0:
+            raise ValueError("planes must be positive")
+        if self.flows_per_wavelength <= 0:
+            raise ValueError("flows_per_wavelength must be positive")
+        # occupancy[src, dst, plane] = sub-slots in use on that wavelength.
+        self._occupancy = np.zeros(
+            (self.n_nodes, self.n_nodes, self.planes), dtype=np.int32)
+        self._failed_planes: set[int] = set()
+
+    # -- queries --------------------------------------------------------------
+
+    def used_slots(self, src: int, dst: int) -> int:
+        """Sub-slots in use across all planes for the pair."""
+        self._check(src, dst)
+        return int(self._occupancy[src, dst].sum())
+
+    def free_slots(self, src: int, dst: int) -> int:
+        """Free sub-slots across all planes for the pair."""
+        self._check(src, dst)
+        total = self.healthy_planes * self.flows_per_wavelength
+        return total - self.used_slots(src, dst)
+
+    def free_wavelengths(self, src: int, dst: int) -> int:
+        """Healthy wavelengths with no occupancy at all for the pair."""
+        self._check(src, dst)
+        return sum(1 for p in range(self.planes)
+                   if p not in self._failed_planes
+                   and self._occupancy[src, dst, p] == 0)
+
+    def has_capacity(self, src: int, dst: int, slots: int = 1) -> bool:
+        """Can the pair absorb ``slots`` more sub-slots?"""
+        return self.free_slots(src, dst) >= slots
+
+    def pair_free_gbps(self, src: int, dst: int) -> float:
+        """Unused direct bandwidth between the pair."""
+        per_slot = self.gbps_per_wavelength / self.flows_per_wavelength
+        return self.free_slots(src, dst) * per_slot
+
+    def free_slots_from(self, src: int) -> np.ndarray:
+        """(n_nodes,) free sub-slots from ``src`` toward every node."""
+        self._check(src, 0)
+        total = self.healthy_planes * self.flows_per_wavelength
+        return total - self._occupancy[src].sum(axis=1)
+
+    def free_slots_to(self, dst: int) -> np.ndarray:
+        """(n_nodes,) free sub-slots from every node toward ``dst``."""
+        self._check(0, dst)
+        total = self.healthy_planes * self.flows_per_wavelength
+        return total - self._occupancy[:, dst].sum(axis=1)
+
+    def occupancy_bitmap(self, src: int) -> np.ndarray:
+        """(n_nodes,) bool array: fully-occupied direct paths from src.
+
+        This is the one-hot status vector a source piggybacks (§IV-A):
+        bit d set means the source's wavelengths toward d are all busy.
+        """
+        self._check(src, 0)
+        total = self.healthy_planes * self.flows_per_wavelength
+        return self._occupancy[src].sum(axis=1) >= total
+
+    def slot_bitmap(self, src: int) -> np.ndarray:
+        """(n_nodes,) int array of used sub-slots from ``src``.
+
+        The richer multi-bit status vector ("8 bits per wavelength ...
+        256 bytes" in the paper's sizing example).
+        """
+        self._check(src, 0)
+        return self._occupancy[src].sum(axis=1).copy()
+
+    # -- mutation --------------------------------------------------------------
+
+    def allocate(self, src: int, dst: int, slots: int = 1) -> list[int]:
+        """Occupy ``slots`` sub-slots on the pair's least-loaded planes.
+
+        Returns the plane indices used (one entry per slot). Raises
+        ``RuntimeError`` when capacity is insufficient — callers must
+        check :meth:`has_capacity` (or catch) to model blocking.
+        """
+        self._check(src, dst)
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        if not self.has_capacity(src, dst, slots):
+            raise RuntimeError(
+                f"no capacity for {slots} slots on pair ({src}, {dst})")
+        used: list[int] = []
+        occ = self._occupancy[src, dst]
+        healthy = [p for p in range(self.planes)
+                   if p not in self._failed_planes]
+        for _ in range(slots):
+            plane = min(healthy, key=lambda p: occ[p])
+            occ[plane] += 1
+            used.append(plane)
+        return used
+
+    def release(self, src: int, dst: int, planes: list[int]) -> None:
+        """Release previously allocated sub-slots."""
+        self._check(src, dst)
+        for plane in planes:
+            if not 0 <= plane < self.planes:
+                raise ValueError(f"plane {plane} out of range")
+            if self._occupancy[src, dst, plane] <= 0:
+                raise RuntimeError(
+                    f"release underflow on ({src}, {dst}) plane {plane}")
+            self._occupancy[src, dst, plane] -= 1
+
+    def reset(self) -> None:
+        """Clear all occupancy (failed planes stay failed)."""
+        self._occupancy.fill(0)
+
+    # -- failure injection -------------------------------------------------------
+
+    @property
+    def healthy_planes(self) -> int:
+        """Planes currently in service."""
+        return self.planes - len(self._failed_planes)
+
+    @property
+    def failed_planes(self) -> frozenset[int]:
+        """Indices of failed planes."""
+        return frozenset(self._failed_planes)
+
+    def fail_plane(self, plane: int) -> list[tuple[int, int, int]]:
+        """Take an AWGR plane out of service (device failure).
+
+        Returns the (src, dst, slots) occupancy that was riding the
+        plane — those flows are dropped and must be re-routed by the
+        caller. At least one plane must remain healthy.
+        """
+        if not 0 <= plane < self.planes:
+            raise ValueError(f"plane {plane} out of range")
+        if plane in self._failed_planes:
+            raise RuntimeError(f"plane {plane} already failed")
+        if self.healthy_planes <= 1:
+            raise RuntimeError("cannot fail the last healthy plane")
+        dropped = []
+        occ = self._occupancy[:, :, plane]
+        for src, dst in zip(*np.nonzero(occ)):
+            dropped.append((int(src), int(dst), int(occ[src, dst])))
+        occ.fill(0)
+        self._failed_planes.add(plane)
+        return dropped
+
+    def repair_plane(self, plane: int) -> None:
+        """Return a failed plane to service."""
+        if plane not in self._failed_planes:
+            raise RuntimeError(f"plane {plane} is not failed")
+        self._failed_planes.discard(plane)
+
+    # -- utilization metrics ----------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of healthy sub-slots in use (diagonal excluded)."""
+        total = (self.n_nodes * (self.n_nodes - 1)
+                 * self.healthy_planes * self.flows_per_wavelength)
+        diag = sum(int(self._occupancy[i, i].sum())
+                   for i in range(self.n_nodes))
+        return (int(self._occupancy.sum()) - diag) / total
+
+    def _check(self, src: int, dst: int) -> None:
+        if not 0 <= src < self.n_nodes:
+            raise ValueError(f"src {src} out of range")
+        if not 0 <= dst < self.n_nodes:
+            raise ValueError(f"dst {dst} out of range")

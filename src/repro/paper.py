@@ -1,0 +1,256 @@
+"""Machine-checkable ledger of the paper's quantitative claims.
+
+Every headline number the paper states is registered here as a
+:class:`Claim` with the paper's value, a tolerance policy, and a
+callable that measures the same quantity from this library. Running
+:func:`validate_all` regenerates the full paper-vs-measured table that
+EXPERIMENTS.md summarizes — making the reproduction auditable in one
+call (and in `python -m repro claims`).
+
+Claims are grouped so expensive substrates (the CPU study) run once
+and feed several claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative claim from the paper.
+
+    Parameters
+    ----------
+    claim_id:
+        Stable identifier ("table3.total_mcms").
+    section:
+        Paper location.
+    description:
+        What the number means.
+    paper_value:
+        The value the paper states.
+    tolerance:
+        Acceptable |measured - paper| (absolute). ``None`` demands
+        exact equality.
+    relative:
+        When true, tolerance is relative to the paper value.
+    """
+
+    claim_id: str
+    section: str
+    description: str
+    paper_value: float
+    tolerance: float | None = None
+    relative: bool = False
+
+    def check(self, measured: float) -> bool:
+        """Is the measured value within tolerance?"""
+        if self.tolerance is None:
+            return measured == self.paper_value
+        bound = self.tolerance
+        if self.relative:
+            bound = abs(self.paper_value) * self.tolerance
+        return abs(measured - self.paper_value) <= bound
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """A claim together with its measured value."""
+
+    claim: Claim
+    measured: float
+
+    @property
+    def ok(self) -> bool:
+        """Within tolerance?"""
+        return self.claim.check(self.measured)
+
+    def as_row(self) -> dict:
+        """Row for report rendering."""
+        return {
+            "claim": self.claim.claim_id,
+            "section": self.claim.section,
+            "paper": self.claim.paper_value,
+            "measured": self.measured,
+            "ok": self.ok,
+        }
+
+
+def _structural_measurements() -> dict[str, float]:
+    from repro.photonics.awgr import CascadedAWGR
+    from repro.photonics.links import link_by_name
+    from repro.rack.baseline import BaselineRack
+    from repro.rack.design import plan_awgr_fabric, plan_wss_fabric
+    from repro.rack.mcm import pack_rack, total_mcms
+
+    packings = pack_rack()
+    awgr_plan = plan_awgr_fabric()
+    wss_plan = plan_wss_fabric()
+    cascade = CascadedAWGR.paper_config()
+    out = {
+        "table3.total_mcms": float(total_mcms(packings)),
+        "fig5.min_direct_wavelengths":
+            float(awgr_plan.min_direct_wavelengths()),
+        "fig5.direct_pair_gbps": awgr_plan.guaranteed_pair_gbps(),
+        "fig5.wss_min_paths": float(wss_plan.min_direct_paths()),
+        "awgr.built_ports": float(cascade.built_ports),
+        "awgr.usable_ports": float(cascade.ports),
+        "table1.teraphy_links": float(
+            link_by_name("ayar-teraphy").links_for_escape(2.0)),
+        "isoperf.baseline_modules": float(
+            BaselineRack().total_modules()),
+    }
+    for chip_type, packing in packings.items():
+        out[f"table3.{chip_type.value}_per_mcm"] = float(
+            packing.chips_per_mcm)
+    return out
+
+
+def _performance_measurements() -> dict[str, float]:
+    from repro.core.comparison import electronic_vs_photonic
+    from repro.core.isoperf import iso_performance_comparison
+    from repro.core.power import rack_power_overhead
+    from repro.core.slowdown import (
+        cpu_gpu_rodinia_comparison,
+        run_cpu_study,
+        run_gpu_study,
+        suite_summary,
+    )
+
+    cpu = run_cpu_study(35.0)
+    summaries = {(s.suite, s.input_size, s.core): s.mean_slowdown
+                 for s in suite_summary(cpu)}
+    nw = {r.core: r.slowdown for r in cpu
+          if r.name == "rodinia.nw.default"}
+    gpu = run_gpu_study(35.0)
+    gpu_mean = float(np.mean([g.slowdown for g in gpu]))
+    rodinia = cpu_gpu_rodinia_comparison(35.0)
+    _, comp = electronic_vs_photonic()
+    comp_by_core = {s.core: s.mean_speedup for s in comp}
+    power = rack_power_overhead()
+    iso = iso_performance_comparison()
+    no_nas = [r for r in cpu if not r.name.startswith("nas")]
+
+    return {
+        "fig6.parsec_large_inorder": summaries[("parsec", "large",
+                                                "inorder")],
+        "fig6.parsec_large_ooo": summaries[("parsec", "large", "ooo")],
+        "fig6.parsec_medium_inorder": summaries[("parsec", "medium",
+                                                 "inorder")],
+        "fig6.parsec_medium_ooo": summaries[("parsec", "medium", "ooo")],
+        "fig6.rodinia_inorder": summaries[("rodinia", "default",
+                                           "inorder")],
+        "fig6.rodinia_ooo": summaries[("rodinia", "default", "ooo")],
+        "fig6.nw_inorder": nw["inorder"],
+        "fig6.nw_ooo": nw["ooo"],
+        "fig6.overall_inorder_excl_nas": float(np.mean(
+            [r.slowdown for r in no_nas if r.core == "inorder"])),
+        "fig6.overall_ooo_excl_nas": float(np.mean(
+            [r.slowdown for r in no_nas if r.core == "ooo"])),
+        "fig9.gpu_mean": gpu_mean,
+        "fig11.gpu_max": float(max(r.gpu for r in rodinia)),
+        "fig12.inorder_mean_speedup": comp_by_core["inorder"],
+        "fig12.ooo_mean_speedup": comp_by_core["ooo"],
+        "fig12.gpu_mean_speedup": comp_by_core["gpu"],
+        "power.photonic_kw": power.photonic_w / 1000.0,
+        "power.overhead": power.overhead_fraction,
+        "isoperf.module_reduction": iso.module_reduction,
+        "isoperf.disagg_modules": iso.disaggregated_total,
+    }
+
+
+#: Structural claims (exact by construction).
+STRUCTURAL_CLAIMS: tuple[Claim, ...] = (
+    Claim("table3.total_mcms", "Table III", "total MCMs per rack", 350),
+    Claim("table3.cpu_per_mcm", "Table III", "CPUs per MCM", 14),
+    Claim("table3.gpu_per_mcm", "Table III", "GPUs per MCM", 3),
+    Claim("table3.nic_per_mcm", "Table III", "NICs per MCM", 203),
+    Claim("table3.hbm_per_mcm", "Table III", "HBM stacks per MCM", 4),
+    Claim("table3.ddr4_per_mcm", "Table III", "DDR4 modules per MCM", 27),
+    Claim("fig5.min_direct_wavelengths", "§V-B",
+          "min direct wavelengths per MCM pair", 5),
+    Claim("fig5.direct_pair_gbps", "§V-B",
+          "guaranteed direct pair bandwidth (Gbps)", 125.0),
+    Claim("fig5.wss_min_paths", "§V-B",
+          "min direct WSS paths per pair", 3, tolerance=2.0),
+    Claim("awgr.built_ports", "§III-D2", "cascaded AWGR built ports",
+          396),
+    Claim("awgr.usable_ports", "§III-D2", "cascaded AWGR usable ports",
+          370),
+    Claim("table1.teraphy_links", "Table I",
+          "TeraPHY links for 2 TB/s", 21),
+    Claim("isoperf.baseline_modules", "§VI-E",
+          "baseline rack modules", 1920),
+)
+
+#: Performance claims (tolerance bands — calibrated substrates).
+PERFORMANCE_CLAIMS: tuple[Claim, ...] = (
+    Claim("fig6.parsec_large_inorder", "§VI-B1",
+          "Parsec-large mean slowdown, in-order", 0.23, 0.04),
+    Claim("fig6.parsec_large_ooo", "§VI-B1",
+          "Parsec-large mean slowdown, OOO", 0.41, 0.06),
+    Claim("fig6.parsec_medium_inorder", "§VI-B1",
+          "Parsec-medium mean slowdown, in-order", 0.13, 0.03),
+    Claim("fig6.parsec_medium_ooo", "§VI-B1",
+          "Parsec-medium mean slowdown, OOO", 0.24, 0.05),
+    Claim("fig6.rodinia_inorder", "§VI-B1",
+          "Rodinia mean slowdown, in-order", 0.16, 0.04),
+    Claim("fig6.rodinia_ooo", "§VI-B1",
+          "Rodinia mean slowdown, OOO", 0.16, 0.04),
+    Claim("fig6.nw_inorder", "§VI-B1", "NW slowdown, in-order",
+          0.79, 0.06),
+    Claim("fig6.nw_ooo", "§VI-B1", "NW slowdown, OOO", 0.55, 0.06),
+    Claim("fig6.overall_inorder_excl_nas", "§VI-B1",
+          "mean in-order slowdown (non-NAS)", 0.15, 0.05),
+    Claim("fig6.overall_ooo_excl_nas", "§VI-B1",
+          "mean OOO slowdown (non-NAS)", 0.22, 0.05),
+    Claim("fig9.gpu_mean", "§VI-B3", "GPU mean slowdown @35 ns",
+          0.0535, 0.02),
+    Claim("fig11.gpu_max", "§VI-B4", "GPU max slowdown (Rodinia)",
+          0.12, 0.03),
+    Claim("fig12.inorder_mean_speedup", "§VI-D",
+          "photonic speedup, in-order mean", 0.09, 0.05),
+    Claim("fig12.ooo_mean_speedup", "§VI-D",
+          "photonic speedup, OOO mean", 0.15, 0.06),
+    Claim("fig12.gpu_mean_speedup", "§VI-D",
+          "photonic speedup, GPU mean", 0.61, 0.18),
+    Claim("power.photonic_kw", "§VI-C", "photonic rack power (kW)",
+          11.0, 1.5),
+    Claim("power.overhead", "§VI-C", "photonic power overhead",
+          0.05, 0.015),
+    Claim("isoperf.module_reduction", "§VI-E",
+          "iso-performance module reduction", 0.44, 0.03),
+    Claim("isoperf.disagg_modules", "§VI-E",
+          "disaggregated rack modules", 1075.0, 30.0),
+)
+
+ALL_CLAIMS: tuple[Claim, ...] = STRUCTURAL_CLAIMS + PERFORMANCE_CLAIMS
+
+
+def validate_structural() -> list[ClaimResult]:
+    """Check every structural claim (fast)."""
+    measured = _structural_measurements()
+    return [ClaimResult(c, measured[c.claim_id])
+            for c in STRUCTURAL_CLAIMS]
+
+
+def validate_performance() -> list[ClaimResult]:
+    """Check every performance claim (runs the full studies)."""
+    measured = _performance_measurements()
+    return [ClaimResult(c, measured[c.claim_id])
+            for c in PERFORMANCE_CLAIMS]
+
+
+def validate_all() -> list[ClaimResult]:
+    """Check the entire ledger."""
+    return validate_structural() + validate_performance()
+
+
+def failed_claims(results: list[ClaimResult] | None = None
+                  ) -> list[ClaimResult]:
+    """Claims outside their tolerance (empty on a healthy build)."""
+    results = results if results is not None else validate_all()
+    return [r for r in results if not r.ok]
+

@@ -1,0 +1,67 @@
+"""Photonic device models: DWDM links, optical switches, AWGRs, FEC, power.
+
+This subpackage implements the device-level substrate of the paper
+(§III): the Table I link-technology catalog, the Table II switch
+catalog including the cascaded-AWGR construction, the PCIe/CXL-style
+FEC and BER model of §III-C3, and the transceiver/laser/switch power
+models used in §VI-C.
+"""
+
+from repro.photonics.links import (
+    LinkTechnology,
+    LINK_CATALOG,
+    link_by_name,
+    links_for_escape_bandwidth,
+    table1_rows,
+)
+from repro.photonics.switches import (
+    SwitchTechnology,
+    SWITCH_CATALOG,
+    switch_by_name,
+    project_wave_selective,
+    table2_rows,
+    table4_rows,
+)
+from repro.photonics.awgr import (
+    AWGR,
+    CascadedAWGR,
+    awgr_output_port,
+    awgr_wavelength_for_pair,
+)
+from repro.photonics.fec import (
+    FECModel,
+    CXL_LIGHTWEIGHT_FEC,
+    flit_error_rate,
+    effective_ber_after_fec,
+    retransmission_overhead,
+)
+from repro.photonics.power import (
+    TransceiverPower,
+    CombLaserModel,
+    photonic_rack_power_w,
+)
+from repro.photonics.linkbudget import (
+    LinkBudget,
+    fabric_feasibility,
+    crosstalk_power_penalty_db,
+    cascade_depth_limit,
+)
+from repro.photonics.cxl import (
+    CXLFlit,
+    CXLLink,
+    memory_channel_over_cxl,
+)
+
+__all__ = [
+    "LinkTechnology", "LINK_CATALOG", "link_by_name",
+    "links_for_escape_bandwidth", "table1_rows",
+    "SwitchTechnology", "SWITCH_CATALOG", "switch_by_name",
+    "project_wave_selective", "table2_rows", "table4_rows",
+    "AWGR", "CascadedAWGR", "awgr_output_port", "awgr_wavelength_for_pair",
+    "FECModel", "CXL_LIGHTWEIGHT_FEC", "flit_error_rate",
+    "effective_ber_after_fec", "retransmission_overhead",
+    "TransceiverPower", "CombLaserModel", "photonic_rack_power_w",
+    "LinkBudget", "fabric_feasibility", "crosstalk_power_penalty_db",
+    "cascade_depth_limit",
+    "CXLFlit", "CXLLink", "memory_channel_over_cxl",
+]

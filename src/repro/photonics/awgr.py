@@ -1,0 +1,232 @@
+"""Arrayed waveguide grating router (AWGR) models (paper §III-D2).
+
+An N x N AWGR is a *passive* wavelength router: light of wavelength
+``w`` entering input port ``p`` always exits output port
+``(p + w) mod N``. Equivalently, between any (source, destination) port
+pair there is exactly one wavelength that connects them. This cyclic
+permutation property is what the indirect-routing control logic of
+§IV relies on, and what :func:`awgr_output_port` /
+:func:`awgr_wavelength_for_pair` encode.
+
+Large port counts are built from small AWGRs with the cascaded
+construction of Sato [89]: N front M x M AWGRs feed M rear N x N
+AWGRs to act as one MN x MN AWGR, and K x K delivery-coupling (DC)
+switches scale that to KMN x KMN. The paper instantiates
+K, M, N = 3, 12, 11 => 396, yielding the practical 370-port device of
+Table II. :class:`CascadedAWGR` reproduces that construction, including
+the insertion-loss-aware interconnect optimization hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def awgr_output_port(n_ports: int, input_port: int, wavelength: int) -> int:
+    """Output port reached by ``wavelength`` injected at ``input_port``.
+
+    Implements the cyclic AWGR routing function
+    ``out = (in + wavelength) mod N``.
+    """
+    _check_port(n_ports, input_port, "input_port")
+    _check_port(n_ports, wavelength, "wavelength")
+    return (input_port + wavelength) % n_ports
+
+
+def awgr_wavelength_for_pair(n_ports: int, src: int, dst: int) -> int:
+    """The unique wavelength connecting ``src`` to ``dst``.
+
+    Inverse of :func:`awgr_output_port`: exactly one wavelength routes
+    between any port pair, the defining AWGR property.
+    """
+    _check_port(n_ports, src, "src")
+    _check_port(n_ports, dst, "dst")
+    return (dst - src) % n_ports
+
+
+def _check_port(n_ports: int, value: int, what: str) -> None:
+    if n_ports <= 0:
+        raise ValueError(f"n_ports must be positive, got {n_ports}")
+    if not 0 <= value < n_ports:
+        raise ValueError(f"{what} {value} out of range [0, {n_ports})")
+
+
+@dataclass(frozen=True)
+class AWGR:
+    """A single monolithic N x N AWGR.
+
+    Parameters
+    ----------
+    n_ports:
+        Port count N. Each port carries N wavelengths.
+    gbps_per_wavelength:
+        Line rate per wavelength (the study assumes 25 Gbps from the
+        50 GHz grid / 25 GHz optical bandwidth with PAM4, §III-D2).
+    insertion_loss_db:
+        End-to-end insertion loss.
+    """
+
+    n_ports: int
+    gbps_per_wavelength: float = 25.0
+    insertion_loss_db: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.n_ports <= 1:
+            raise ValueError("AWGR needs at least 2 ports")
+        if self.gbps_per_wavelength <= 0:
+            raise ValueError("gbps_per_wavelength must be positive")
+
+    def output_port(self, input_port: int, wavelength: int) -> int:
+        """Routing function of this device."""
+        return awgr_output_port(self.n_ports, input_port, wavelength)
+
+    def wavelength_for(self, src: int, dst: int) -> int:
+        """Unique wavelength connecting ``src`` -> ``dst``."""
+        return awgr_wavelength_for_pair(self.n_ports, src, dst)
+
+    def routing_matrix(self) -> np.ndarray:
+        """(N, N) matrix R with R[src, dst] = wavelength for the pair."""
+        idx = np.arange(self.n_ports)
+        return (idx[None, :] - idx[:, None]) % self.n_ports
+
+    @property
+    def port_bandwidth_gbps(self) -> float:
+        """Aggregate bandwidth of one port (all wavelengths)."""
+        return self.n_ports * self.gbps_per_wavelength
+
+    def pair_bandwidth_gbps(self) -> float:
+        """Direct (single-hop) bandwidth between any port pair."""
+        return self.gbps_per_wavelength
+
+
+@dataclass(frozen=True)
+class CascadedAWGR:
+    """Sato-style cascaded AWGR (§III-D2, [89]).
+
+    ``k`` delivery-coupling switch planes x ``m`` front-AWGR size x
+    ``n`` rear-AWGR size give a (k*m*n)-port device, of which
+    ``usable_ports`` are practical after guard-band walk-off (the paper
+    uses 370 of the 396 built from 3 x 12 x 11).
+
+    Parameters
+    ----------
+    k, m, n:
+        Construction parameters: K x K DC switches, M x M front AWGRs,
+        N x N rear AWGRs.
+    usable_ports:
+        Ports actually usable (<= k*m*n). Defaults to all ports.
+    gbps_per_wavelength:
+        Per-wavelength line rate.
+    front_loss_db, rear_loss_db, dc_loss_db:
+        Per-stage insertion losses; the total is their sum. Defaults
+        reproduce the ~15 dB of Table II.
+    crosstalk_db:
+        End-to-end crosstalk suppression.
+    """
+
+    k: int = 3
+    m: int = 12
+    n: int = 11
+    usable_ports: int | None = None
+    gbps_per_wavelength: float = 25.0
+    front_loss_db: float = 5.0
+    rear_loss_db: float = 6.0
+    dc_loss_db: float = 4.0
+    crosstalk_db: float = -35.0
+    # populated in __post_init__
+    ports: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        for name, v in (("k", self.k), ("m", self.m), ("n", self.n)):
+            if v <= 0:
+                raise ValueError(f"{name} must be positive, got {v}")
+        built = self.k * self.m * self.n
+        usable = built if self.usable_ports is None else self.usable_ports
+        if not 0 < usable <= built:
+            raise ValueError(
+                f"usable_ports {usable} must be in (0, {built}]")
+        object.__setattr__(self, "usable_ports", usable)
+        object.__setattr__(self, "ports", usable)
+
+    @classmethod
+    def paper_config(cls) -> "CascadedAWGR":
+        """The rack-scale 370-port configuration used in the study."""
+        return cls(k=3, m=12, n=11, usable_ports=370)
+
+    @property
+    def built_ports(self) -> int:
+        """Ports of the raw construction before derating (k*m*n)."""
+        return self.k * self.m * self.n
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Total worst-case insertion loss through all three stages."""
+        return self.front_loss_db + self.rear_loss_db + self.dc_loss_db
+
+    @property
+    def wavelengths_per_port(self) -> int:
+        """One wavelength per (usable) destination — AWGR property."""
+        return self.ports
+
+    def as_awgr(self) -> AWGR:
+        """Collapse to an equivalent monolithic AWGR over usable ports.
+
+        The cascade behaves externally as one large AWGR (that is its
+        purpose), so routing-level code can treat it as such.
+        """
+        return AWGR(n_ports=self.ports,
+                    gbps_per_wavelength=self.gbps_per_wavelength,
+                    insertion_loss_db=self.insertion_loss_db)
+
+    def front_awgr_count(self) -> int:
+        """Number of front M x M AWGRs per DC plane (= n)."""
+        return self.n
+
+    def rear_awgr_count(self) -> int:
+        """Number of rear N x N AWGRs per DC plane (= m)."""
+        return self.m
+
+    def optimize_interconnect(self, front_port_loss_db: np.ndarray,
+                              rear_port_loss_db: np.ndarray) -> np.ndarray:
+        """Pair front outputs with rear inputs to minimize worst-case loss.
+
+        §III-D2: "the interconnection pattern can be optimized with
+        knowledge of port-specific insertion losses to minimize the
+        worst-case end-to-end insertion loss." The optimal pairing for
+        a min-max objective is to sort one side ascending and the other
+        descending (a classic rearrangement argument: pairing the
+        lossiest front port with the least lossy rear port minimizes
+        the maximum sum).
+
+        Parameters
+        ----------
+        front_port_loss_db, rear_port_loss_db:
+            1-D arrays of equal length with the per-port losses.
+
+        Returns
+        -------
+        np.ndarray
+            ``perm`` such that front output ``i`` connects to rear
+            input ``perm[i]``.
+        """
+        front = np.asarray(front_port_loss_db, dtype=float)
+        rear = np.asarray(rear_port_loss_db, dtype=float)
+        if front.ndim != 1 or rear.ndim != 1 or front.size != rear.size:
+            raise ValueError("loss arrays must be 1-D and of equal length")
+        front_order = np.argsort(front)           # ascending front loss
+        rear_order = np.argsort(rear)[::-1]       # descending rear loss
+        perm = np.empty(front.size, dtype=int)
+        perm[front_order] = rear_order
+        return perm
+
+    def worst_case_loss_db(self, front_port_loss_db: np.ndarray,
+                           rear_port_loss_db: np.ndarray,
+                           perm: np.ndarray | None = None) -> float:
+        """Worst-case end-to-end loss under a given (or optimal) pairing."""
+        front = np.asarray(front_port_loss_db, dtype=float)
+        rear = np.asarray(rear_port_loss_db, dtype=float)
+        if perm is None:
+            perm = self.optimize_interconnect(front, rear)
+        return float(np.max(front + rear[perm]) + self.dc_loss_db)

@@ -1,0 +1,205 @@
+"""Forward error correction and BER model (paper §III-A, §III-C3).
+
+Server-class memory needs a bit error rate below 1e-18 to keep FIT
+rates tolerable with SEC-DED protection. Raw photonic links are far
+worse, so the architecture runs a lightweight PCIe-Gen6/CXL-style FEC
+under a strong per-flit CRC:
+
+* the FEC corrects any single error burst of up to 16 bits per flit;
+* a flit fails only when it suffers two (or more) independent bursts,
+  so the flit failure probability falls quadratically with the raw
+  flit error probability ("a flit BER of 1e-6 becomes 1e-12");
+* CRC escapes (undetected corrupted flits) are suppressed by a 64-flit
+  CRC to well under one part per billion of flit failures;
+* detected failures become link retransmissions, so the ASIC-to-ASIC
+  connection sees close to zero errors at a small bandwidth cost.
+
+This module provides both the closed-form arithmetic used by the paper
+and a Monte Carlo cross-check (:func:`simulate_flit_errors`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def flit_error_rate(raw_ber: float, flit_bits: int = 256,
+                    correctable_bursts: int = 1) -> float:
+    """Probability a flit still fails after burst-correcting FEC.
+
+    Models bursts as independent events whose per-flit count is
+    binomial with per-bit probability ``raw_ber`` (each burst counted
+    once at its first bit). A flit fails when it contains more than
+    ``correctable_bursts`` bursts. With one correctable burst the
+    leading term is C(n,2) * p^2 — the quadratic suppression quoted by
+    the paper.
+
+    Parameters
+    ----------
+    raw_ber:
+        Raw (pre-FEC) bit/burst error probability per bit slot.
+    flit_bits:
+        Flit size in bits (256 for CXL flits).
+    correctable_bursts:
+        Number of bursts the FEC corrects per flit.
+    """
+    if not 0.0 <= raw_ber <= 1.0:
+        raise ValueError(f"raw_ber must be in [0, 1], got {raw_ber}")
+    if flit_bits <= 0:
+        raise ValueError("flit_bits must be positive")
+    if correctable_bursts < 0:
+        raise ValueError("correctable_bursts must be >= 0")
+    # P(flit fails) = P(#bursts > correctable) for Binomial(n, p).
+    # Use the survival function via the complement of the CDF sum; for
+    # tiny p the sum is dominated by its first omitted term, which keeps
+    # this numerically exact where the paper's quadratic rule applies.
+    n, p = flit_bits, raw_ber
+    if p == 0.0:
+        return 0.0
+    prob_le = 0.0
+    log_q = n * math.log1p(-p)
+    for k in range(correctable_bursts + 1):
+        # log C(n,k) p^k (1-p)^(n-k)
+        log_term = (math.lgamma(n + 1) - math.lgamma(k + 1)
+                    - math.lgamma(n - k + 1)
+                    + k * math.log(p) + (n - k) * math.log1p(-p))
+        prob_le += math.exp(log_term)
+    # Guard against floating cancellation for minuscule p: fall back to
+    # the dominant-term approximation when the complement underflows.
+    fail = 1.0 - prob_le
+    if fail <= 0.0:
+        k = correctable_bursts + 1
+        log_term = (math.lgamma(n + 1) - math.lgamma(k + 1)
+                    - math.lgamma(n - k + 1)
+                    + k * math.log(p) + (n - k) * math.log1p(-p))
+        fail = math.exp(log_term)
+    del log_q
+    return min(fail, 1.0)
+
+
+def effective_ber_after_fec(raw_ber: float, flit_bits: int = 256,
+                            crc_escape_rate: float = 1e-9) -> float:
+    """Residual *undetected* error rate per bit after FEC + CRC.
+
+    Detected flit failures are retransmitted and therefore harmless;
+    only CRC escapes corrupt data. The per-bit residual rate is::
+
+        flit_fail_prob * crc_escape_rate / flit_bits
+
+    Parameters
+    ----------
+    crc_escape_rate:
+        Fraction of failed flits whose corruption the 64-flit CRC fails
+        to detect; the paper bounds this "significantly less than one
+        part per billion".
+    """
+    if not 0.0 <= crc_escape_rate <= 1.0:
+        raise ValueError("crc_escape_rate must be in [0, 1]")
+    fer = flit_error_rate(raw_ber, flit_bits)
+    return fer * crc_escape_rate / flit_bits
+
+
+def retransmission_overhead(raw_ber: float, flit_bits: int = 256) -> float:
+    """Fraction of link bandwidth consumed by FEC-escape retransmissions.
+
+    Every detected flit failure costs one extra flit transmission, so
+    the overhead equals the flit failure probability (to first order in
+    that probability). The paper notes this stays below 0.1% for the
+    BERs of interest.
+    """
+    fer = flit_error_rate(raw_ber, flit_bits)
+    # Expected transmissions per flit = 1 / (1 - fer); overhead is the excess.
+    if fer >= 1.0:
+        return math.inf
+    return fer / (1.0 - fer)
+
+
+@dataclass(frozen=True)
+class FECModel:
+    """A concrete FEC scheme with its latency/bandwidth costs (§III-C3).
+
+    Parameters
+    ----------
+    name:
+        Identifier.
+    fec_latency_ns:
+        All-inclusive FEC encode+decode latency ("as low as 2 ns" for
+        the CXL/PCIe-Gen6 lightweight scheme; we default to the upper
+        end of the paper's 2-3 ns).
+    flit_bits:
+        Protected flit size.
+    bandwidth_overhead:
+        Fraction of raw bandwidth spent on FEC parity (<0.1%).
+    crc_escape_rate:
+        See :func:`effective_ber_after_fec`.
+    """
+
+    name: str = "cxl-lightweight"
+    fec_latency_ns: float = 3.0
+    flit_bits: int = 256
+    bandwidth_overhead: float = 0.001
+    crc_escape_rate: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.fec_latency_ns < 0:
+            raise ValueError("fec_latency_ns must be >= 0")
+        if not 0 <= self.bandwidth_overhead < 1:
+            raise ValueError("bandwidth_overhead must be in [0, 1)")
+
+    def serialization_ns(self, link_gbps: float) -> float:
+        """Time to serialize one flit at ``link_gbps``.
+
+        §III-C3 example: at 200 Gbps a 256-bit flit (plus header
+        framing, which the paper folds into "10 ns") serializes in
+        ~10 ns... The paper quotes serialization for the whole FEC
+        block; we expose the flit-level figure and let callers choose
+        block sizes.
+        """
+        if link_gbps <= 0:
+            raise ValueError("link_gbps must be positive")
+        return self.flit_bits / link_gbps
+
+    def total_latency_ns(self, link_gbps: float) -> float:
+        """FEC latency plus flit serialization at the given line rate."""
+        return self.fec_latency_ns + self.serialization_ns(link_gbps)
+
+    def residual_ber(self, raw_ber: float) -> float:
+        """Undetected post-FEC BER for a raw link BER."""
+        return effective_ber_after_fec(raw_ber, self.flit_bits,
+                                       self.crc_escape_rate)
+
+    def meets_memory_ber(self, raw_ber: float,
+                         target_ber: float = 1e-18) -> bool:
+        """Does this scheme reach the server-memory BER target?"""
+        return self.residual_ber(raw_ber) <= target_ber
+
+    def effective_bandwidth_gbps(self, link_gbps: float,
+                                 raw_ber: float = 1e-6) -> float:
+        """Usable bandwidth after parity and retransmission overheads."""
+        retx = retransmission_overhead(raw_ber, self.flit_bits)
+        return link_gbps * (1.0 - self.bandwidth_overhead) / (1.0 + retx)
+
+
+#: The scheme the paper adopts.
+CXL_LIGHTWEIGHT_FEC = FECModel()
+
+
+def simulate_flit_errors(raw_ber: float, flit_bits: int = 256,
+                         n_flits: int = 100_000,
+                         correctable_bursts: int = 1,
+                         rng: np.random.Generator | None = None) -> float:
+    """Monte Carlo estimate of the flit failure probability.
+
+    Draws per-flit burst counts from Binomial(flit_bits, raw_ber) and
+    counts flits whose bursts exceed the FEC's correction capability.
+    Used by tests to validate :func:`flit_error_rate` at moderate BERs
+    (the 1e-18 regime is only reachable in closed form).
+    """
+    if n_flits <= 0:
+        raise ValueError("n_flits must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    bursts = rng.binomial(flit_bits, raw_ber, size=n_flits)
+    return float(np.mean(bursts > correctable_bursts))

@@ -1,0 +1,33 @@
+"""Rack-design substrate: chips, nodes, MCM packing, rack topologies.
+
+Models the paper's §V: a baseline GPU-accelerated HPE/Cray EX rack
+(128 nodes of 1x AMD Milan + 4x NVIDIA A100) and the photonically
+disaggregated redesign that packs same-type chips into MCMs with equal
+escape bandwidth (Table III) and connects them with parallel AWGRs or
+wave-selective switches (Fig. 5).
+"""
+
+from repro.rack.chips import (
+    ChipSpec,
+    ChipType,
+    CHIP_CATALOG,
+    chip_by_type,
+)
+from repro.rack.node import NodeConfig, PERLMUTTER_NODE
+from repro.rack.baseline import BaselineRack
+from repro.rack.mcm import MCMConfig, MCMPacking, pack_rack, table3_rows
+from repro.rack.design import (
+    DisaggregatedRack,
+    AWGRFabricPlan,
+    WSSFabricPlan,
+    plan_awgr_fabric,
+    plan_wss_fabric,
+)
+
+__all__ = [
+    "ChipSpec", "ChipType", "CHIP_CATALOG", "chip_by_type",
+    "NodeConfig", "PERLMUTTER_NODE", "BaselineRack",
+    "MCMConfig", "MCMPacking", "pack_rack", "table3_rows",
+    "DisaggregatedRack", "AWGRFabricPlan", "WSSFabricPlan",
+    "plan_awgr_fabric", "plan_wss_fabric",
+]

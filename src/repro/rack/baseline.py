@@ -1,0 +1,86 @@
+"""Non-disaggregated baseline rack (paper §V / §VI-E).
+
+A rack contains 128 identical nodes. Resources are marooned inside
+nodes: a job that needs extra memory on one node cannot borrow idle
+memory from a neighbor. The baseline's chip counts and power anchor
+both the §VI-C power-overhead ratio and the §VI-E iso-performance
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rack.chips import CHIP_CATALOG, ChipType
+from repro.rack.node import PERLMUTTER_NODE, NodeConfig
+
+
+@dataclass(frozen=True)
+class BaselineRack:
+    """A rack of identical, statically configured nodes.
+
+    Parameters
+    ----------
+    node:
+        Per-node composition.
+    n_nodes:
+        Nodes per rack (128 for the model HPE/Cray EX rack).
+    """
+
+    node: NodeConfig = field(default_factory=lambda: PERLMUTTER_NODE)
+    n_nodes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+
+    def chip_counts(self) -> dict[ChipType, int]:
+        """Total chips of each type in the rack."""
+        return {t: n * self.n_nodes for t, n in self.node.chip_counts().items()}
+
+    def total_chips(self) -> int:
+        """All chips in the rack."""
+        return sum(self.chip_counts().values())
+
+    def module_counts(self, nics_counted_per_node: int | None = None,
+                      count_hbm: bool = False) -> dict[ChipType, int]:
+        """Module counts under the §VI-E accounting.
+
+        The iso-performance comparison counts modules per node as
+        1 CPU + 4 GPUs (HBM folded into the GPU) + 8 DDR4 + 2 NICs,
+        giving the paper's 1920 baseline modules. ``nics_counted_per_node``
+        and ``count_hbm`` expose those accounting choices.
+        """
+        nics = (2 if nics_counted_per_node is None else nics_counted_per_node)
+        counts = {
+            ChipType.CPU: self.node.cpus * self.n_nodes,
+            ChipType.GPU: self.node.gpus * self.n_nodes,
+            ChipType.NIC: nics * self.n_nodes,
+            ChipType.DDR4: self.node.ddr4_modules * self.n_nodes,
+        }
+        if count_hbm:
+            counts[ChipType.HBM] = self.node.hbm_stacks * self.n_nodes
+        return counts
+
+    def total_modules(self, **kwargs) -> int:
+        """Total modules under the §VI-E accounting (1920 by default)."""
+        return sum(self.module_counts(**kwargs).values())
+
+    def compute_power_w(self) -> float:
+        """Rack compute power (CPUs + GPUs + DDR4; HBM/NIC folded in).
+
+        Matches the paper's §VI-C accounting: "an A100 GPU is
+        approximately 300 W, an AMD Milan CPU 250 W, and 512 GB of DDR4
+        memory in a single node approximately 192 W". The paper's node
+        carries 256 GB, so we charge DDR4 from the per-module catalog
+        power derived from that figure.
+        """
+        node = self.node
+        per_node = (node.cpus * CHIP_CATALOG[ChipType.CPU].power_w
+                    + node.gpus * CHIP_CATALOG[ChipType.GPU].power_w
+                    + node.ddr4_modules * CHIP_CATALOG[ChipType.DDR4].power_w)
+        return per_node * self.n_nodes
+
+    def memory_capacity_gbyte(self) -> float:
+        """Total DDR4 capacity of the rack."""
+        return self.node.memory_capacity_gbyte * self.n_nodes

@@ -1,0 +1,126 @@
+"""Chip catalog for the model rack (paper §V).
+
+Each :class:`ChipSpec` captures the properties of one chip type in the
+model HPE/Cray EX node that matter for disaggregation: its escape
+bandwidth (what the photonic MCM must provide so disaggregation never
+throttles the chip), its power (for the §VI-C overhead ratio), and its
+capacity where applicable.
+
+Escape-bandwidth derivations (GB/s, per chip, from §V):
+
+* **CPU** (AMD Milan): 8 memory controllers x DDR4-3200 = 204.8 memory
+  + 4 PCIe Gen4 x16 to GPUs = 4 x 31.5 = 126
+  + 4 Slingshot-11 NICs x 200 Gbps = 4 x 25 = 100  => 430.8
+* **GPU** (NVIDIA A100): HBM 1555.2 + 12 NVLink3 x 25 = 300
+  + PCIe Gen4 31.5 => 1886.7
+* **NIC** (Slingshot 11): attaches over PCIe Gen4 x16 => 31.5
+* **HBM** stack (per GPU): 1555.2
+* **DDR4-3200 module**: 25.6
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ChipType(Enum):
+    """The five disaggregatable chip types of Table III."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    NIC = "nic"
+    HBM = "hbm"
+    DDR4 = "ddr4"
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Static description of one chip type.
+
+    Parameters
+    ----------
+    chip_type:
+        Which of the five types this is.
+    escape_gbyte_s:
+        Total off-chip bandwidth the chip can drive (GB/s); the MCM
+        packing guarantees at least this per chip.
+    power_w:
+        Typical board power, used in the §VI-C overhead calculation.
+        Memory module power is apportioned from the paper's "512 GB of
+        DDR4 ... approximately 192 W" per node figure.
+    capacity_gbyte:
+        Memory capacity for memory chips; 0 otherwise.
+    mcm_chip_limit:
+        Optional packaging cap on chips of this type per MCM. ``None``
+        means escape bandwidth alone decides. Table III's DDR4 row (27
+        modules/MCM) reflects a packaging/controller limit rather than
+        pure bandwidth division (which would allow 250 modules); we
+        encode that explicitly and document it in EXPERIMENTS.md.
+    """
+
+    chip_type: ChipType
+    escape_gbyte_s: float
+    power_w: float
+    capacity_gbyte: float = 0.0
+    mcm_chip_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.escape_gbyte_s <= 0:
+            raise ValueError(f"{self.chip_type}: escape bandwidth must be > 0")
+        if self.power_w < 0:
+            raise ValueError(f"{self.chip_type}: power must be >= 0")
+        if self.capacity_gbyte < 0:
+            raise ValueError(f"{self.chip_type}: capacity must be >= 0")
+        if self.mcm_chip_limit is not None and self.mcm_chip_limit <= 0:
+            raise ValueError(f"{self.chip_type}: chip limit must be positive")
+
+    @property
+    def escape_gbps(self) -> float:
+        """Escape bandwidth in Gbps."""
+        return self.escape_gbyte_s * 8.0
+
+
+# Derived constants kept explicit so tests can assert the arithmetic.
+MILAN_MEMORY_GBYTE_S = 8 * 25.6          # 8 controllers x DDR4-3200
+MILAN_PCIE_GBYTE_S = 4 * 31.5            # 4 PCIe Gen4 x16 links to GPUs
+MILAN_NIC_GBYTE_S = 4 * 25.0             # 4 Slingshot-11 @ 200 Gbps
+A100_HBM_GBYTE_S = 1555.2
+A100_NVLINK_GBYTE_S = 12 * 25.0          # 12 NVLink3 @ 25 GB/s/dir
+A100_PCIE_GBYTE_S = 31.5
+
+#: Per-node DDR4 power from the paper (512 GB -> 192 W) apportioned to
+#: the 8 modules of our 256 GB node: 192 W x (256/512) / 8 = 12 W/module.
+DDR4_MODULE_POWER_W = 192.0 * (256.0 / 512.0) / 8.0
+
+CHIP_CATALOG: dict[ChipType, ChipSpec] = {
+    ChipType.CPU: ChipSpec(
+        ChipType.CPU,
+        escape_gbyte_s=MILAN_MEMORY_GBYTE_S + MILAN_PCIE_GBYTE_S + MILAN_NIC_GBYTE_S,
+        power_w=250.0),
+    ChipType.GPU: ChipSpec(
+        ChipType.GPU,
+        escape_gbyte_s=A100_HBM_GBYTE_S + A100_NVLINK_GBYTE_S + A100_PCIE_GBYTE_S,
+        power_w=300.0,
+        capacity_gbyte=40.0),
+    ChipType.NIC: ChipSpec(
+        ChipType.NIC,
+        escape_gbyte_s=A100_PCIE_GBYTE_S,  # NIC attaches over PCIe Gen4 x16
+        power_w=25.0),
+    ChipType.HBM: ChipSpec(
+        ChipType.HBM,
+        escape_gbyte_s=A100_HBM_GBYTE_S,
+        power_w=25.0,
+        capacity_gbyte=40.0),
+    ChipType.DDR4: ChipSpec(
+        ChipType.DDR4,
+        escape_gbyte_s=25.6,
+        power_w=DDR4_MODULE_POWER_W,
+        capacity_gbyte=32.0,
+        mcm_chip_limit=27),
+}
+
+
+def chip_by_type(chip_type: ChipType) -> ChipSpec:
+    """Catalog lookup (KeyError if the type is unknown)."""
+    return CHIP_CATALOG[chip_type]

@@ -1,0 +1,314 @@
+"""Disaggregated rack design: fabric planning (paper §V-B, Fig. 5).
+
+Two fabric plans are modeled:
+
+* **Case (A), AWGRs** — six parallel 370-port cascaded AWGRs. Each
+  MCM's 32 fibers are combined into five groups of six fibers (each
+  group driving one port of AWGRs 0-4 with up to 370 of its 384
+  wavelengths) plus a sixth port carrying the leftover wavelengths.
+  Because an N-port AWGR gives every port pair exactly one wavelength,
+  an MCM pair that shares k AWGRs has k direct wavelengths; the plan
+  guarantees at least five (125 Gbps at 25 Gbps/wavelength).
+
+* **Case (B), wave-selective/spatial** — eleven 256-port switches with
+  MCM i attached to switch I at port p when ``(32*I + p) mod 350 == i``.
+  Each MCM lands on ~8 switches and every MCM pair shares at least
+  three, giving at least three direct configurable paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.photonics.awgr import CascadedAWGR
+from repro.rack.mcm import MCMConfig, pack_rack, total_mcms
+
+
+@dataclass(frozen=True)
+class AWGRFabricPlan:
+    """Connectivity plan for the parallel-AWGR fabric (case A).
+
+    Attributes
+    ----------
+    n_mcms:
+        MCMs to connect (350 for the default rack).
+    awgr:
+        The AWGR device every plane uses.
+    full_planes:
+        Number of planes on which every MCM has a full-rate port.
+    extra_planes:
+        Planes carrying leftover wavelengths (partial reach).
+    port_assignment:
+        (n_mcms, planes) array: ``port_assignment[m, a]`` is MCM m's
+        port index on AWGR plane a (or -1 when not attached).
+    wavelengths_on_extra:
+        Escape wavelengths each MCM drives into each extra plane.
+    """
+
+    n_mcms: int
+    awgr: CascadedAWGR
+    full_planes: int
+    extra_planes: int
+    port_assignment: np.ndarray
+    wavelengths_on_extra: int
+
+    @property
+    def planes(self) -> int:
+        """Total AWGR planes (6 for the paper's design)."""
+        return self.full_planes + self.extra_planes
+
+    def direct_wavelengths(self, src: int, dst: int) -> int:
+        """Direct (single-hop) wavelengths between an MCM pair.
+
+        One wavelength per shared plane; a full plane always routes
+        between any two attached ports, while an extra plane only
+        carries ``wavelengths_on_extra`` of the port's wavelengths and
+        can therefore reach only that many distinct destinations — we
+        count it when the pair's AWGR wavelength index falls within the
+        driven subset.
+        """
+        self._check_mcm(src)
+        self._check_mcm(dst)
+        if src == dst:
+            return 0
+        count = 0
+        device = self.awgr.as_awgr()
+        for plane in range(self.planes):
+            sp = int(self.port_assignment[src, plane])
+            dp = int(self.port_assignment[dst, plane])
+            if sp < 0 or dp < 0:
+                continue
+            if plane < self.full_planes:
+                count += 1
+            else:
+                # Extra plane: the source only powers the first
+                # `wavelengths_on_extra` of its 370 wavelengths.
+                if device.wavelength_for(sp, dp) < self.wavelengths_on_extra:
+                    count += 1
+        return count
+
+    def min_direct_wavelengths(self) -> int:
+        """Minimum direct wavelengths over all MCM pairs (>= 5)."""
+        # Full planes alone give `full_planes` wavelengths to every
+        # pair, so the minimum is at least that; scan only extra planes.
+        best_floor = self.full_planes
+        worst_extra = self.extra_planes
+        if self.extra_planes:
+            device = self.awgr.as_awgr()
+            for src, dst in itertools.combinations(range(self.n_mcms), 2):
+                extra = 0
+                for plane in range(self.full_planes, self.planes):
+                    sp = int(self.port_assignment[src, plane])
+                    dp = int(self.port_assignment[dst, plane])
+                    if sp < 0 or dp < 0:
+                        continue
+                    if device.wavelength_for(sp, dp) < self.wavelengths_on_extra:
+                        extra += 1
+                worst_extra = min(worst_extra, extra)
+                if worst_extra == 0:
+                    break
+        return best_floor + worst_extra
+
+    def direct_bandwidth_gbps(self, src: int, dst: int) -> float:
+        """Direct pair bandwidth in Gbps."""
+        return (self.direct_wavelengths(src, dst)
+                * self.awgr.gbps_per_wavelength)
+
+    def guaranteed_pair_gbps(self) -> float:
+        """Bandwidth every pair is guaranteed without indirection (125)."""
+        return self.full_planes * self.awgr.gbps_per_wavelength
+
+    def _check_mcm(self, m: int) -> None:
+        if not 0 <= m < self.n_mcms:
+            raise ValueError(f"MCM index {m} out of range [0, {self.n_mcms})")
+
+
+def plan_awgr_fabric(n_mcms: int | None = None,
+                     mcm: MCMConfig | None = None,
+                     awgr: CascadedAWGR | None = None,
+                     full_planes: int = 5,
+                     fibers_per_group: int = 6) -> AWGRFabricPlan:
+    """Build the paper's six-plane AWGR plan (§V-B).
+
+    Each MCM combines its fibers into ``full_planes`` groups of
+    ``fibers_per_group`` fibers. A group carries
+    ``fibers_per_group * wavelengths_per_fiber`` wavelengths (384) of
+    which at most the AWGR's 370 are used; leftovers plus the remaining
+    whole fibers feed one extra plane. Ports are assigned in a staggered
+    (rotated) pattern so consecutive MCMs do not collide on extra-plane
+    wavelength subsets.
+    """
+    mcm = mcm if mcm is not None else MCMConfig()
+    if n_mcms is None:
+        n_mcms = total_mcms(pack_rack(mcm=mcm))
+    awgr = awgr if awgr is not None else CascadedAWGR.paper_config()
+    if n_mcms > awgr.ports:
+        raise ValueError(f"{n_mcms} MCMs exceed AWGR radix {awgr.ports}")
+    if full_planes * fibers_per_group > mcm.fibers:
+        raise ValueError("fiber grouping exceeds fibers per MCM")
+
+    per_group = fibers_per_group * mcm.wavelengths_per_fiber
+    used_per_group = min(per_group, awgr.ports)
+    leftover_per_group = per_group - used_per_group
+    spare_fibers = mcm.fibers - full_planes * fibers_per_group
+    extra_wavelengths = (spare_fibers * mcm.wavelengths_per_fiber
+                         + leftover_per_group)
+    extra_planes = 1 if extra_wavelengths > 0 else 0
+
+    planes = full_planes + extra_planes
+    assignment = np.full((n_mcms, planes), -1, dtype=int)
+    for plane in range(planes):
+        # Staggered port assignment: rotate by a plane-dependent offset
+        # so that extra-plane reachability subsets differ across planes.
+        offset = (plane * 31) % awgr.ports
+        for m in range(n_mcms):
+            assignment[m, plane] = (m + offset) % awgr.ports
+
+    return AWGRFabricPlan(
+        n_mcms=n_mcms,
+        awgr=awgr,
+        full_planes=full_planes,
+        extra_planes=extra_planes,
+        port_assignment=assignment,
+        wavelengths_on_extra=min(extra_wavelengths, awgr.ports),
+    )
+
+
+@dataclass(frozen=True)
+class WSSFabricPlan:
+    """Connectivity plan for the wave-selective/spatial fabric (case B).
+
+    Attributes
+    ----------
+    n_mcms:
+        MCMs to connect.
+    n_switches:
+        Parallel switches (11 for the paper's design).
+    radix:
+        Ports per switch (256).
+    wavelengths_per_port:
+        Wavelengths each port carries (256).
+    gbps_per_wavelength:
+        Line rate (25).
+    attachment:
+        (n_switches, radix) array of attached MCM index (or -1).
+    """
+
+    n_mcms: int
+    n_switches: int
+    radix: int
+    wavelengths_per_port: int
+    gbps_per_wavelength: float
+    attachment: np.ndarray
+    _mcm_switches: dict[int, frozenset[int]] = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        lookup: dict[int, set[int]] = {m: set() for m in range(self.n_mcms)}
+        for s in range(self.n_switches):
+            for mcm in self.attachment[s]:
+                if mcm >= 0:
+                    lookup[int(mcm)].add(s)
+        frozen = {m: frozenset(v) for m, v in lookup.items()}
+        object.__setattr__(self, "_mcm_switches", frozen)
+
+    def switches_of(self, mcm: int) -> frozenset[int]:
+        """Switches MCM ``mcm`` attaches to."""
+        return self._mcm_switches[mcm]
+
+    def common_switches(self, src: int, dst: int) -> frozenset[int]:
+        """Switches connecting an MCM pair directly."""
+        return self.switches_of(src) & self.switches_of(dst)
+
+    def direct_paths(self, src: int, dst: int) -> int:
+        """Number of direct switch paths between a pair."""
+        if src == dst:
+            return 0
+        return len(self.common_switches(src, dst))
+
+    def min_direct_paths(self) -> int:
+        """Minimum direct paths across all MCM pairs (>= 3)."""
+        return min(self.direct_paths(a, b)
+                   for a, b in itertools.combinations(range(self.n_mcms), 2))
+
+    def ports_per_mcm(self) -> np.ndarray:
+        """Number of switch ports each MCM consumes (~8)."""
+        counts = np.zeros(self.n_mcms, dtype=int)
+        for s in range(self.n_switches):
+            for mcm in self.attachment[s]:
+                if mcm >= 0:
+                    counts[int(mcm)] += 1
+        return counts
+
+    def direct_bandwidth_gbps(self, src: int, dst: int) -> float:
+        """Reconfigured direct bandwidth: full port rate per shared switch."""
+        return (self.direct_paths(src, dst) * self.wavelengths_per_port
+                * self.gbps_per_wavelength)
+
+
+def plan_wss_fabric(n_mcms: int | None = None,
+                    mcm: MCMConfig | None = None,
+                    n_switches: int = 11,
+                    radix: int = 256,
+                    wavelengths_per_port: int = 256,
+                    gbps_per_wavelength: float = 25.0,
+                    stride: int = 32) -> WSSFabricPlan:
+    """Build the paper's eleven-switch staggered plan (§V-B).
+
+    Switch ``I`` port ``p`` attaches MCM ``(stride*I + p) mod n_mcms``,
+    the paper's staggering with ``stride = 32``, except that a switch
+    skips an MCM that already holds ``ceil(wavelengths/λ-per-port)``
+    attachments (the 32-fiber budget, 8 ports for the defaults); such
+    ports are left free for future rack growth.
+    """
+    mcm = mcm if mcm is not None else MCMConfig()
+    if n_mcms is None:
+        n_mcms = total_mcms(pack_rack(mcm=mcm))
+    max_ports = mcm.wavelengths // wavelengths_per_port
+    if max_ports < 1:
+        raise ValueError("MCM wavelength budget below one switch port")
+
+    attachment = np.full((n_switches, radix), -1, dtype=int)
+    port_budget = np.full(n_mcms, max_ports, dtype=int)
+    for switch in range(n_switches):
+        for port in range(radix):
+            candidate = (stride * switch + port) % n_mcms
+            if port_budget[candidate] > 0:
+                attachment[switch, port] = candidate
+                port_budget[candidate] -= 1
+    return WSSFabricPlan(
+        n_mcms=n_mcms,
+        n_switches=n_switches,
+        radix=radix,
+        wavelengths_per_port=wavelengths_per_port,
+        gbps_per_wavelength=gbps_per_wavelength,
+        attachment=attachment,
+    )
+
+
+@dataclass(frozen=True)
+class DisaggregatedRack:
+    """The full disaggregated rack: MCM packing plus a fabric plan."""
+
+    mcm: MCMConfig = field(default_factory=MCMConfig)
+    fabric: str = "awgr"
+
+    def __post_init__(self) -> None:
+        if self.fabric not in ("awgr", "wss"):
+            raise ValueError("fabric must be 'awgr' or 'wss'")
+
+    def packings(self):
+        """Table III packing for this MCM configuration."""
+        return pack_rack(mcm=self.mcm)
+
+    def n_mcms(self) -> int:
+        """Total MCMs (350 by default)."""
+        return total_mcms(self.packings())
+
+    def plan(self):
+        """Fabric plan matching :attr:`fabric`."""
+        if self.fabric == "awgr":
+            return plan_awgr_fabric(n_mcms=self.n_mcms(), mcm=self.mcm)
+        return plan_wss_fabric(n_mcms=self.n_mcms(), mcm=self.mcm)

@@ -1,0 +1,132 @@
+"""MCM packing and escape-bandwidth accounting (paper §V-A, Table III).
+
+The disaggregated rack groups chips of a single type onto multi-chip
+modules (MCMs). Every MCM has identical photonic escape bandwidth —
+32 fibers x 64 wavelengths x 25 Gbps = 51,200 Gbps = 6,400 GB/s — and
+the number of chips per MCM is chosen so that each chip keeps at least
+the escape bandwidth it enjoyed in the baseline node ("our photonic
+architecture does not restrict chip escape bandwidth").
+
+``chips_per_mcm = floor(mcm_escape / chip_escape)`` except where a
+packaging limit applies (see :class:`~repro.rack.chips.ChipSpec`), and
+``mcms = ceil(rack_chip_count / chips_per_mcm)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.rack.baseline import BaselineRack
+from repro.rack.chips import CHIP_CATALOG, ChipSpec, ChipType
+
+
+@dataclass(frozen=True)
+class MCMConfig:
+    """Photonic escape configuration common to every MCM (§V-A).
+
+    Defaults are the paper's conservative assumptions: 32 attached
+    fibers (vs. the 120 demonstrated in [110]), 64 wavelengths per
+    fiber at 25 Gbps each.
+    """
+
+    fibers: int = 32
+    wavelengths_per_fiber: int = 64
+    gbps_per_wavelength: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.fibers <= 0 or self.wavelengths_per_fiber <= 0:
+            raise ValueError("fibers and wavelengths must be positive")
+        if self.gbps_per_wavelength <= 0:
+            raise ValueError("gbps_per_wavelength must be positive")
+
+    @property
+    def wavelengths(self) -> int:
+        """Total escape wavelengths per MCM (2048 by default)."""
+        return self.fibers * self.wavelengths_per_fiber
+
+    @property
+    def escape_gbps(self) -> float:
+        """Escape bandwidth per MCM in Gbps (51,200 by default)."""
+        return self.wavelengths * self.gbps_per_wavelength
+
+    @property
+    def escape_gbyte_s(self) -> float:
+        """Escape bandwidth per MCM in GB/s (6,400 by default)."""
+        return self.escape_gbps / 8.0
+
+
+def chips_per_mcm(spec: ChipSpec, mcm: MCMConfig) -> int:
+    """Chips of one type per MCM under equal-escape-bandwidth packing.
+
+    Bandwidth division sets the count; an explicit packaging limit
+    (``spec.mcm_chip_limit``) caps it where the paper's Table III does.
+    """
+    by_bandwidth = math.floor(mcm.escape_gbyte_s / spec.escape_gbyte_s)
+    if by_bandwidth < 1:
+        raise ValueError(
+            f"{spec.chip_type}: chip escape {spec.escape_gbyte_s} GB/s exceeds "
+            f"MCM escape {mcm.escape_gbyte_s} GB/s; no valid packing")
+    if spec.mcm_chip_limit is not None:
+        return min(by_bandwidth, spec.mcm_chip_limit)
+    return by_bandwidth
+
+
+@dataclass(frozen=True)
+class MCMPacking:
+    """The packing result for one chip type."""
+
+    chip_type: ChipType
+    chips_per_mcm: int
+    rack_chips: int
+    mcms: int
+
+    @property
+    def provisioned_chips(self) -> int:
+        """Chip slots provided (>= rack_chips because of ceil)."""
+        return self.chips_per_mcm * self.mcms
+
+
+def pack_rack(rack: BaselineRack | None = None,
+              mcm: MCMConfig | None = None) -> dict[ChipType, MCMPacking]:
+    """Pack every chip type of a baseline rack into MCMs (Table III).
+
+    Returns a mapping from chip type to its :class:`MCMPacking`. With
+    the default rack and MCM configuration this reproduces Table III:
+    CPU 14/10, GPU 3/171, NIC 203/3, HBM 4/128, DDR4 27/38 — 350 MCMs.
+    """
+    rack = rack if rack is not None else BaselineRack()
+    mcm = mcm if mcm is not None else MCMConfig()
+    packings: dict[ChipType, MCMPacking] = {}
+    for chip_type, count in rack.chip_counts().items():
+        spec = CHIP_CATALOG[chip_type]
+        per = chips_per_mcm(spec, mcm)
+        packings[chip_type] = MCMPacking(
+            chip_type=chip_type,
+            chips_per_mcm=per,
+            rack_chips=count,
+            mcms=math.ceil(count / per))
+    return packings
+
+
+def total_mcms(packings: dict[ChipType, MCMPacking]) -> int:
+    """Total MCMs across chip types (350 for the default rack)."""
+    return sum(p.mcms for p in packings.values())
+
+
+def table3_rows(rack: BaselineRack | None = None,
+                mcm: MCMConfig | None = None) -> list[dict]:
+    """Regenerate paper Table III as a list of row dicts."""
+    packings = pack_rack(rack, mcm)
+    rows = []
+    for chip_type in (ChipType.CPU, ChipType.GPU, ChipType.NIC,
+                      ChipType.HBM, ChipType.DDR4):
+        p = packings[chip_type]
+        rows.append({
+            "chip_type": chip_type.value,
+            "chips_per_mcm": p.chips_per_mcm,
+            "mcms_per_rack": p.mcms,
+        })
+    rows.append({"chip_type": "total", "chips_per_mcm": None,
+                 "mcms_per_rack": total_mcms(packings)})
+    return rows

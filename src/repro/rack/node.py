@@ -1,0 +1,90 @@
+"""Baseline compute node model (paper §V).
+
+The model node follows a GPU-accelerated HPE/Cray EX (Perlmutter GPU)
+node: one AMD Milan CPU with eight DDR4-3200 modules (256 GB,
+204.8 GB/s), four NVIDIA A100 GPUs each with 40 GB of HBM
+(1555.2 GB/s) and 12 NVLink-3 links, four PCIe Gen4 CPU-GPU links, and
+four Slingshot-11 NICs at 200 Gbps per direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rack.chips import CHIP_CATALOG, ChipType
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Composition of one baseline node.
+
+    The counts are per node; bandwidths live in the chip catalog.
+    ``nics_counted`` lets the iso-performance module accounting of
+    §VI-E (which counts two NICs per node — see EXPERIMENTS.md) differ
+    from the physical four without changing the physical model.
+    """
+
+    name: str = "perlmutter-gpu-node"
+    cpus: int = 1
+    gpus: int = 4
+    nics: int = 4
+    ddr4_modules: int = 8
+    hbm_stacks: int = 4         # one per GPU
+    nvlink_per_gpu: int = 12
+    nvlink_gbyte_s: float = 25.0
+    pcie_links: int = 4
+    pcie_gbyte_s: float = 31.5
+    nic_gbps: float = 200.0
+
+    def __post_init__(self) -> None:
+        for attr in ("cpus", "gpus", "nics", "ddr4_modules", "hbm_stacks"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+
+    # -- chip counting -------------------------------------------------------
+
+    def chip_counts(self) -> dict[ChipType, int]:
+        """Physical chips of each type in one node."""
+        return {
+            ChipType.CPU: self.cpus,
+            ChipType.GPU: self.gpus,
+            ChipType.NIC: self.nics,
+            ChipType.HBM: self.hbm_stacks,
+            ChipType.DDR4: self.ddr4_modules,
+        }
+
+    # -- derived bandwidths ---------------------------------------------------
+
+    @property
+    def memory_capacity_gbyte(self) -> float:
+        """CPU-attached DDR4 capacity."""
+        return self.ddr4_modules * CHIP_CATALOG[ChipType.DDR4].capacity_gbyte
+
+    @property
+    def memory_bandwidth_gbyte_s(self) -> float:
+        """Peak CPU memory bandwidth."""
+        return self.ddr4_modules * CHIP_CATALOG[ChipType.DDR4].escape_gbyte_s
+
+    @property
+    def hbm_bandwidth_gbyte_s(self) -> float:
+        """Peak aggregate HBM bandwidth across GPUs."""
+        return self.hbm_stacks * CHIP_CATALOG[ChipType.HBM].escape_gbyte_s
+
+    @property
+    def gpu_interconnect_gbyte_s(self) -> float:
+        """Aggregate NVLink bandwidth leaving all GPUs of the node."""
+        return self.gpus * self.nvlink_per_gpu * self.nvlink_gbyte_s
+
+    @property
+    def nic_bandwidth_gbyte_s(self) -> float:
+        """Aggregate injection bandwidth of the node's NICs."""
+        return self.nics * self.nic_gbps / 8.0
+
+    def power_w(self) -> float:
+        """Node power from the catalog chip powers."""
+        return sum(CHIP_CATALOG[t].power_w * n
+                   for t, n in self.chip_counts().items())
+
+
+#: The study's model node.
+PERLMUTTER_NODE = NodeConfig()

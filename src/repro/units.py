@@ -1,0 +1,115 @@
+"""Unit helpers and physical constants used throughout the library.
+
+All internal computation uses a small set of canonical units:
+
+* bandwidth — **Gbps** (gigabits per second) unless a name says otherwise
+  (``_gbyte_s`` suffixes denote GB/s, i.e. gigaBYTES per second);
+* latency — **nanoseconds**;
+* energy — **picojoules per bit**;
+* power — **watts**;
+* distance — **meters**.
+
+Keeping conversions in one module avoids the classic factor-of-8 and
+factor-of-1e3 bugs when mixing Gbps, GBps, and TB/s figures from the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Speed of light in vacuum, meters per second.
+SPEED_OF_LIGHT_M_S: float = 299_792_458.0
+
+#: Refractive index of silica optical fiber assumed by the paper (~1.5),
+#: giving an effective propagation speed of ~0.75c and therefore ~5 ns/m.
+FIBER_REFRACTIVE_INDEX: float = 1.5
+
+#: Effective propagation latency through fiber, ns per meter (paper §III-C2).
+FIBER_NS_PER_METER: float = 5.0
+
+# ---------------------------------------------------------------------------
+# Bandwidth conversions
+# ---------------------------------------------------------------------------
+
+BITS_PER_BYTE: int = 8
+
+
+def gbps_to_gbyte_s(gbps: float) -> float:
+    """Convert gigabits/s to gigabytes/s."""
+    return gbps / BITS_PER_BYTE
+
+
+def gbyte_s_to_gbps(gbyte_s: float) -> float:
+    """Convert gigabytes/s to gigabits/s."""
+    return gbyte_s * BITS_PER_BYTE
+
+
+def tbyte_s_to_gbps(tbyte_s: float) -> float:
+    """Convert terabytes/s to gigabits/s (1 TB/s = 8000 Gbps)."""
+    return tbyte_s * 1000.0 * BITS_PER_BYTE
+
+
+def gbps_to_tbyte_s(gbps: float) -> float:
+    """Convert gigabits/s to terabytes/s."""
+    return gbps / (1000.0 * BITS_PER_BYTE)
+
+
+# ---------------------------------------------------------------------------
+# Energy / power conversions
+# ---------------------------------------------------------------------------
+
+
+def pj_per_bit_to_watts(pj_per_bit: float, gbps: float) -> float:
+    """Power (W) drawn by a link running at ``gbps`` with ``pj_per_bit`` energy.
+
+    1 pJ/bit at 1 Gbps = 1e-12 J/bit * 1e9 bit/s = 1e-3 W, hence the 1e-3
+    factor below.
+    """
+    return pj_per_bit * gbps * 1e-3
+
+
+def watts_to_pj_per_bit(watts: float, gbps: float) -> float:
+    """Inverse of :func:`pj_per_bit_to_watts`."""
+    if gbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {gbps}")
+    return watts / (gbps * 1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Latency helpers
+# ---------------------------------------------------------------------------
+
+
+def propagation_latency_ns(distance_m: float,
+                           ns_per_meter: float = FIBER_NS_PER_METER) -> float:
+    """Fiber propagation latency over ``distance_m`` meters."""
+    if distance_m < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_m}")
+    return distance_m * ns_per_meter
+
+
+def serialization_latency_ns(payload_bits: float, gbps: float) -> float:
+    """Time to serialize ``payload_bits`` onto a link of ``gbps``.
+
+    1 Gbps moves 1 bit per ns, so latency in ns is bits / Gbps.
+    """
+    if gbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {gbps}")
+    return payload_bits / gbps
+
+
+def ns_to_cycles(ns: float, clock_ghz: float) -> float:
+    """Convert nanoseconds to clock cycles at ``clock_ghz``."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_ghz}")
+    return ns * clock_ghz
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float) -> float:
+    """Convert clock cycles at ``clock_ghz`` to nanoseconds."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_ghz}")
+    return cycles / clock_ghz

@@ -1,0 +1,56 @@
+"""Workload characterizations: CPU suites, GPU suites, production traces.
+
+The CPU and GPU benchmark tables record, for every benchmark the paper
+runs, the observable characteristics the paper reports or implies
+(LLC miss rate, slowdown at 35 ns, memory intensity). The calibration
+solver converts those into the substrate's physical parameters (reuse
+fractions, CPI, MLP), so the simulators *reproduce* the published
+behaviour mechanistically rather than merely replaying numbers — the
+same structure as calibrating a simulator against hardware counters.
+
+``cori`` synthesizes production utilization traces whose marginal
+distributions match the NERSC Cori quantiles of §II-A, feeding the
+iso-performance analysis.
+"""
+
+from repro.workloads.calibration import (
+    CalibrationError,
+    solve_trace_fractions,
+    solve_ooo_mlp,
+)
+from repro.workloads.cpu_suites import (
+    CPUBenchmark,
+    parsec_benchmarks,
+    nas_benchmarks,
+    rodinia_cpu_benchmarks,
+    all_cpu_benchmarks,
+    benchmarks_by_suite,
+)
+from repro.workloads.gpu_suites import (
+    gpu_applications,
+    rodinia_gpu_applications,
+    polybench_applications,
+    tango_applications,
+)
+from repro.workloads.cori import (
+    UtilizationProfile,
+    CORI_PROFILES,
+    sample_node_utilization,
+    rack_demand_quantile,
+)
+from repro.workloads.jobs import (
+    JobMixConfig,
+    generate_job_stream,
+    stream_statistics,
+)
+
+__all__ = [
+    "CalibrationError", "solve_trace_fractions", "solve_ooo_mlp",
+    "CPUBenchmark", "parsec_benchmarks", "nas_benchmarks",
+    "rodinia_cpu_benchmarks", "all_cpu_benchmarks", "benchmarks_by_suite",
+    "gpu_applications", "rodinia_gpu_applications",
+    "polybench_applications", "tango_applications",
+    "UtilizationProfile", "CORI_PROFILES", "sample_node_utilization",
+    "rack_demand_quantile",
+    "JobMixConfig", "generate_job_stream", "stream_statistics",
+]

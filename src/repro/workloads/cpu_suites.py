@@ -1,0 +1,276 @@
+"""CPU benchmark characterizations: PARSEC 3.1, NAS, Rodinia (§VI-B1).
+
+Each entry records the observables the paper reports or implies for
+the benchmark under the 35 ns adder — LLC miss rate (Fig. 7) and
+in-order / OOO slowdown targets (Figs. 6-7) — together with a memory
+intensity and per-suite core parameters. The calibration solver turns
+those into reuse fractions and MLP; the studies then run the full
+synthetic-trace pipeline.
+
+Values are read off the paper's figures where per-benchmark data is
+shown (Fig. 7: Parsec-large and Rodinia) and distributed to match the
+stated suite aggregates elsewhere (Fig. 6: suite averages/maxima; §VI-B1
+prose: NAS negligible; streamcluster input-size cliff; "only three
+benchmarks exceed a 25% slowdown in each of Rodinia and Parsec (large)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.cpu.trace import TraceSpec
+from repro.workloads.calibration import (
+    CalibrationError,
+    solve_ooo_mlp,
+    solve_trace_fractions,
+)
+
+#: Instructions per synthesized benchmark window. Large enough that
+#: trace sampling noise stays ~1%, small enough that the full 77-run
+#: sweep is fast.
+DEFAULT_INSTRUCTIONS = 200_000
+
+
+@dataclass(frozen=True)
+class CPUBenchmark:
+    """One benchmark run (benchmark x input size), fully calibrated."""
+
+    name: str
+    suite: str                    # "parsec" | "nas" | "rodinia"
+    input_size: str               # "small"/"medium"/"large" or "A"/"B"/"C"
+    mem_ratio: float
+    llc_miss_rate: float          # target misses / LLC accesses
+    target_inorder: float         # target slowdown @ 35 ns, in-order
+    target_ooo: float             # target slowdown @ 35 ns, OOO
+    cpi_inorder: float
+    cpi_ooo: float
+    instructions: int = DEFAULT_INSTRUCTIONS
+
+    @property
+    def full_name(self) -> str:
+        """Qualified name, e.g. "parsec.canneal.large"."""
+        return f"{self.suite}.{self.name}.{self.input_size}"
+
+    def trace_spec(self) -> TraceSpec:
+        """Calibrated trace specification for this run."""
+        frac = self._fractions()
+        return TraceSpec(
+            name=self.full_name,
+            instructions=self.instructions,
+            mem_ratio=self.mem_ratio,
+            l1_fraction=frac.l1_fraction,
+            l2_fraction=frac.l2_fraction,
+            llc_fraction=frac.llc_fraction)
+
+    def mlp(self) -> float:
+        """Calibrated OOO memory-level parallelism."""
+        return solve_ooo_mlp(self.target_ooo, self._fractions(),
+                             self.mem_ratio, cpi_ooo=self.cpi_ooo)
+
+    def _fractions(self):
+        return solve_trace_fractions(
+            self.target_inorder, self.llc_miss_rate, self.mem_ratio,
+            cpi_inorder=self.cpi_inorder)
+
+
+def _mk(suite: str, name: str, size: str, mem_ratio: float, miss: float,
+        s_in: float, s_ooo: float, cpi_in: float = 1.0,
+        cpi_ooo: float = 0.5) -> CPUBenchmark:
+    bench = CPUBenchmark(name=name, suite=suite, input_size=size,
+                         mem_ratio=mem_ratio, llc_miss_rate=miss,
+                         target_inorder=s_in, target_ooo=s_ooo,
+                         cpi_inorder=cpi_in, cpi_ooo=cpi_ooo)
+    # Fail fast at table-definition time if a row is infeasible.
+    try:
+        bench.trace_spec()
+    except CalibrationError as exc:  # pragma: no cover - table bug guard
+        raise CalibrationError(f"{bench.full_name}: {exc}") from exc
+    return bench
+
+
+# ---------------------------------------------------------------------------
+# PARSEC 3.1 — 13 benchmarks x {small, medium, large}
+# (name, miss_rate, s_inorder, s_ooo) per input size. Large-input rows
+# follow Fig. 7 (slowdown tracks LLC miss rate, Pearson ~0.89); medium
+# and small shrink working sets so more benchmarks fit in the LLC
+# (suite averages 13%/24% medium vs 23%/41% large, §VI-B1).
+# ---------------------------------------------------------------------------
+
+_PARSEC_ROWS: dict[str, dict[str, tuple[float, float, float]]] = {
+    #                 miss   S_in   S_ooo
+    "blackscholes": {"small": (0.04, 0.014, 0.020),
+                     "medium": (0.05, 0.015, 0.025),
+                     "large": (0.06, 0.030, 0.050)},
+    "bodytrack":    {"small": (0.08, 0.058, 0.081),
+                     "medium": (0.10, 0.060, 0.100),
+                     "large": (0.13, 0.100, 0.170)},
+    "canneal":      {"small": (0.38, 0.400, 0.610),
+                     "medium": (0.48, 0.420, 0.750),
+                     "large": (0.58, 0.500, 0.880)},
+    "dedup":        {"small": (0.22, 0.200, 0.310),
+                     "medium": (0.28, 0.210, 0.380),
+                     "large": (0.34, 0.250, 0.480)},
+    "facesim":      {"small": (0.25, 0.230, 0.360),
+                     "medium": (0.32, 0.240, 0.440),
+                     "large": (0.42, 0.420, 0.760)},
+    "ferret":       {"small": (0.16, 0.144, 0.210),
+                     "medium": (0.20, 0.150, 0.260),
+                     "large": (0.26, 0.220, 0.400)},
+    "fluidanimate": {"small": (0.15, 0.134, 0.200),
+                     "medium": (0.19, 0.140, 0.250),
+                     "large": (0.28, 0.240, 0.460)},
+    "freqmine":     {"small": (0.12, 0.106, 0.154),
+                     "medium": (0.15, 0.110, 0.190),
+                     "large": (0.20, 0.160, 0.280)},
+    "raytrace":     {"small": (0.10, 0.086, 0.122),
+                     "medium": (0.13, 0.090, 0.150),
+                     "large": (0.17, 0.130, 0.220)},
+    "streamcluster": {"small": (0.004, 0.002, 0.003),
+                      "medium": (0.005, 0.003, 0.004),
+                      "large": (0.65, 0.570, 0.950)},
+    "swaptions":    {"small": (0.03, 0.011, 0.015),
+                     "medium": (0.04, 0.012, 0.018),
+                     "large": (0.05, 0.020, 0.030)},
+    "vips":         {"small": (0.13, 0.125, 0.186),
+                     "medium": (0.17, 0.130, 0.230),
+                     "large": (0.22, 0.180, 0.340)},
+    "x264":         {"small": (0.09, 0.077, 0.113),
+                     "medium": (0.12, 0.080, 0.140),
+                     "large": (0.15, 0.110, 0.190)},
+}
+
+#: Per-benchmark memory intensity (loads+stores per instruction).
+_PARSEC_MEM_RATIO: dict[str, float] = {
+    "blackscholes": 0.24, "bodytrack": 0.28, "canneal": 0.36,
+    "dedup": 0.30, "facesim": 0.38, "ferret": 0.32, "fluidanimate": 0.34,
+    "freqmine": 0.35, "raytrace": 0.30, "streamcluster": 0.27,
+    "swaptions": 0.25, "vips": 0.29, "x264": 0.31,
+}
+
+
+@lru_cache(maxsize=None)
+def parsec_benchmarks(size: str = "large") -> tuple[CPUBenchmark, ...]:
+    """The 13 PARSEC 3.1 benchmarks at one input size."""
+    if size not in ("small", "medium", "large"):
+        raise ValueError(f"unknown PARSEC input size {size!r}")
+    out = []
+    for name, sizes in _PARSEC_ROWS.items():
+        miss, s_in, s_ooo = sizes[size]
+        out.append(_mk("parsec", name, size, _PARSEC_MEM_RATIO[name],
+                       miss, s_in, s_ooo))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# NAS parallel benchmarks 3.4.1 — 8 kernels x classes {A, B, C}.
+# "NAS benchmarks are negligibly affected" (§VI-B1): single-digit miss
+# rates and sub-5% slowdowns throughout, growing slightly with class.
+# ---------------------------------------------------------------------------
+
+_NAS_ROWS: dict[str, dict[str, tuple[float, float, float]]] = {
+    "bt": {"A": (0.03, 0.004, 0.005), "B": (0.04, 0.006, 0.008),
+           "C": (0.05, 0.009, 0.012)},
+    "cg": {"A": (0.10, 0.020, 0.028), "B": (0.12, 0.028, 0.040),
+           "C": (0.14, 0.038, 0.055)},
+    "ep": {"A": (0.01, 0.001, 0.001), "B": (0.01, 0.001, 0.001),
+           "C": (0.01, 0.001, 0.001)},
+    "ft": {"A": (0.06, 0.010, 0.013), "B": (0.07, 0.014, 0.019),
+           "C": (0.08, 0.018, 0.026)},
+    "is": {"A": (0.07, 0.012, 0.015), "B": (0.08, 0.015, 0.020),
+           "C": (0.09, 0.019, 0.027)},
+    "lu": {"A": (0.04, 0.006, 0.007), "B": (0.05, 0.008, 0.010),
+           "C": (0.06, 0.011, 0.015)},
+    "mg": {"A": (0.08, 0.015, 0.020), "B": (0.09, 0.019, 0.027),
+           "C": (0.11, 0.026, 0.038)},
+    "sp": {"A": (0.04, 0.006, 0.008), "B": (0.05, 0.009, 0.012),
+           "C": (0.06, 0.012, 0.017)},
+}
+
+_NAS_MEM_RATIO: dict[str, float] = {
+    "bt": 0.33, "cg": 0.36, "ep": 0.20, "ft": 0.34,
+    "is": 0.30, "lu": 0.32, "mg": 0.35, "sp": 0.33,
+}
+
+
+@lru_cache(maxsize=None)
+def nas_benchmarks(input_class: str = "C") -> tuple[CPUBenchmark, ...]:
+    """The 8 NAS kernels at one input class."""
+    if input_class not in ("A", "B", "C"):
+        raise ValueError(f"unknown NAS class {input_class!r}")
+    out = []
+    for name, classes in _NAS_ROWS.items():
+        miss, s_in, s_ooo = classes[input_class]
+        out.append(_mk("nas", name, input_class, _NAS_MEM_RATIO[name],
+                       miss, s_in, s_ooo))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Rodinia (CPU/OpenMP) — 14 benchmarks, default input sets.
+# NW dominates (79% in-order / 55% OOO); exactly three benchmarks
+# exceed 25% in-order (nw, bfs, srad) and two exceed 25% OOO (nw, bfs);
+# suite averages ~16% for both core types (§VI-B1). NW's OOO slowdown
+# being *below* in-order reflects its serial dependence chains
+# (cpi_ooo close to cpi_inorder).
+# ---------------------------------------------------------------------------
+
+_RODINIA_ROWS: dict[str, tuple[float, float, float, float, float, float]] = {
+    #            mem_r  miss   S_in   S_ooo  cpi_in cpi_ooo
+    "backprop":       (0.30, 0.17, 0.100, 0.130, 1.0, 0.50),
+    "bfs":            (0.33, 0.45, 0.280, 0.270, 1.0, 0.80),
+    "b+tree":         (0.31, 0.20, 0.120, 0.150, 1.0, 0.55),
+    "cfd":            (0.36, 0.33, 0.220, 0.300, 1.0, 0.50),
+    "hotspot":        (0.32, 0.12, 0.080, 0.110, 1.0, 0.45),
+    "kmeans":         (0.34, 0.16, 0.100, 0.140, 1.0, 0.45),
+    "lavamd":         (0.30, 0.04, 0.020, 0.026, 1.0, 0.45),
+    "lud":            (0.33, 0.10, 0.060, 0.080, 1.0, 0.45),
+    "myocyte":        (0.25, 0.02, 0.010, 0.012, 1.2, 0.60),
+    "nn":             (0.30, 0.26, 0.140, 0.180, 1.0, 0.50),
+    "nw":             (0.35, 0.75, 0.790, 0.550, 1.0, 0.90),
+    "particlefilter": (0.28, 0.06, 0.040, 0.050, 1.0, 0.45),
+    "pathfinder":     (0.31, 0.15, 0.100, 0.130, 1.0, 0.45),
+    "srad":           (0.34, 0.40, 0.270, 0.240, 1.0, 0.70),
+}
+
+
+@lru_cache(maxsize=None)
+def rodinia_cpu_benchmarks() -> tuple[CPUBenchmark, ...]:
+    """The 14 Rodinia OpenMP benchmarks (default inputs)."""
+    out = []
+    for name, row in _RODINIA_ROWS.items():
+        mem_ratio, miss, s_in, s_ooo, cpi_in, cpi_ooo = row
+        out.append(_mk("rodinia", name, "default", mem_ratio, miss,
+                       s_in, s_ooo, cpi_in, cpi_ooo))
+    return tuple(out)
+
+
+def all_cpu_benchmarks() -> tuple[CPUBenchmark, ...]:
+    """Every run of the study: 13x3 PARSEC + 8x3 NAS + 14 Rodinia = 77."""
+    runs: list[CPUBenchmark] = []
+    for size in ("small", "medium", "large"):
+        runs.extend(parsec_benchmarks(size))
+    for cls in ("A", "B", "C"):
+        runs.extend(nas_benchmarks(cls))
+    runs.extend(rodinia_cpu_benchmarks())
+    return tuple(runs)
+
+
+def benchmarks_by_suite(suite: str, size: str | None = None
+                        ) -> tuple[CPUBenchmark, ...]:
+    """Select one suite (optionally one input size/class)."""
+    if suite == "parsec":
+        sizes = (size,) if size else ("small", "medium", "large")
+        out: list[CPUBenchmark] = []
+        for s in sizes:
+            out.extend(parsec_benchmarks(s))
+        return tuple(out)
+    if suite == "nas":
+        classes = (size,) if size else ("A", "B", "C")
+        out = []
+        for c in classes:
+            out.extend(nas_benchmarks(c))
+        return tuple(out)
+    if suite == "rodinia":
+        return rodinia_cpu_benchmarks()
+    raise ValueError(f"unknown suite {suite!r}")

@@ -1,0 +1,49 @@
+"""Report rendering."""
+
+import pytest
+
+from repro.analysis.report import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "10" in lines[3]
+
+    def test_title(self):
+        text = render_table([{"x": 1}], title="Table I")
+        assert text.startswith("Table I")
+
+    def test_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_values_dash(self):
+        text = render_table([{"a": 1, "b": None}])
+        assert "-" in text.splitlines()[2]
+
+    def test_scientific_notation_for_tiny(self):
+        text = render_table([{"ber": 1e-18}])
+        assert "e-18" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([])
+
+    def test_bool_rendering(self):
+        text = render_table([{"ok": True}])
+        assert "yes" in text
+
+
+class TestRenderKV:
+    def test_aligned_pairs(self):
+        text = render_kv({"short": 1, "a-much-longer-key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_kv({})

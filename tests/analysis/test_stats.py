@@ -1,0 +1,55 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import pearson, quantiles, summarize
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = [1, 2, 3, 4]
+        assert pearson(x, [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(100)
+        y = x * 0.5 + rng.random(100)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+
+class TestSummaries:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["mean"] == 2.0
+        assert s["max"] == 3.0
+        assert s["min"] == 1.0
+        assert s["n"] == 3
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_quantiles(self):
+        q = quantiles(range(101), qs=(0.5, 0.99))
+        assert q[0.5] == 50.0
+        assert q[0.99] == pytest.approx(99.0)
+
+    def test_quantiles_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantiles([])

@@ -1,0 +1,144 @@
+"""Disaggregated and node-granular allocators."""
+
+import pytest
+
+from repro.core.allocation import (
+    AllocationError,
+    DisaggregatedAllocator,
+    JobRequest,
+    NodeGranularAllocator,
+    ResourcePool,
+)
+from repro.rack.baseline import BaselineRack
+
+
+def job(job_id="j1", cpus=2, gpus=4, memory_gbyte=512.0, nic_gbps=200.0):
+    return JobRequest(job_id=job_id, cpus=cpus, gpus=gpus,
+                      memory_gbyte=memory_gbyte, nic_gbps=nic_gbps)
+
+
+class TestResourcePool:
+    def test_take_give(self):
+        pool = ResourcePool("x", 10.0)
+        pool.take(4.0)
+        assert pool.free == 6.0
+        pool.give(4.0)
+        assert pool.used == 0.0
+
+    def test_overdraw_raises(self):
+        pool = ResourcePool("x", 10.0)
+        with pytest.raises(AllocationError):
+            pool.take(11.0)
+
+    def test_give_underflow_raises(self):
+        pool = ResourcePool("x", 10.0)
+        with pytest.raises(RuntimeError):
+            pool.give(1.0)
+
+    def test_utilization(self):
+        pool = ResourcePool("x", 10.0)
+        pool.take(5.0)
+        assert pool.utilization == 0.5
+
+
+class TestJobRequest:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            JobRequest("empty")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            JobRequest("bad", cpus=-1)
+
+
+class TestDisaggregatedAllocator:
+    def test_for_rack_capacities(self):
+        alloc = DisaggregatedAllocator.for_rack()
+        assert alloc.cpus.capacity == 128
+        assert alloc.gpus.capacity == 512
+        assert alloc.memory_gbyte.capacity == 128 * 256.0
+        assert alloc.nic_gbps.capacity == 512 * 200.0
+
+    def test_allocate_release_roundtrip(self):
+        alloc = DisaggregatedAllocator.for_rack()
+        alloc.allocate(job())
+        assert alloc.active_jobs() == ("j1",)
+        alloc.release("j1")
+        assert alloc.utilization() == {
+            "cpus": 0.0, "gpus": 0.0, "memory_gbyte": 0.0, "nic_gbps": 0.0}
+
+    def test_all_or_nothing(self):
+        alloc = DisaggregatedAllocator.for_rack()
+        # Memory demand exceeds rack: nothing must be taken.
+        huge = job(job_id="huge", memory_gbyte=1e9)
+        with pytest.raises(AllocationError):
+            alloc.allocate(huge)
+        assert alloc.cpus.used == 0.0
+
+    def test_double_allocate_rejected(self):
+        alloc = DisaggregatedAllocator.for_rack()
+        alloc.allocate(job())
+        with pytest.raises(AllocationError):
+            alloc.allocate(job())
+
+    def test_release_unknown_rejected(self):
+        alloc = DisaggregatedAllocator.for_rack()
+        with pytest.raises(AllocationError):
+            alloc.release("ghost")
+
+    def test_can_allocate_matches_allocate(self):
+        alloc = DisaggregatedAllocator.for_rack()
+        request = job(gpus=512)
+        assert alloc.can_allocate(request)
+        alloc.allocate(request)
+        assert not alloc.can_allocate(job(job_id="j2", gpus=1))
+
+    def test_reduced_pools(self):
+        alloc = DisaggregatedAllocator.for_rack(memory_reduction=4.0,
+                                                nic_reduction=2.0)
+        assert alloc.memory_gbyte.capacity == 128 * 256.0 / 4
+        assert alloc.nic_gbps.capacity == 512 * 200.0 / 2
+
+
+class TestNodeGranularBaseline:
+    def test_gpu_job_maroons_memory(self):
+        """A GPU-heavy, memory-light job still consumes whole nodes."""
+        alloc = NodeGranularAllocator()
+        request = JobRequest("gpu-job", cpus=1, gpus=8, memory_gbyte=32.0)
+        assert alloc.nodes_for(request) == 2  # 8 GPUs / 4 per node
+        marooned = alloc.marooned_fraction([request])
+        assert marooned["memory"] > 0.9  # nearly all memory idle
+
+    def test_memory_job_maroons_gpus(self):
+        alloc = NodeGranularAllocator()
+        request = JobRequest("mem-job", cpus=1, gpus=0,
+                             memory_gbyte=1024.0)
+        assert alloc.nodes_for(request) == 4
+        marooned = alloc.marooned_fraction([request])
+        assert marooned["gpus"] == 1.0
+
+    def test_capacity_enforced(self):
+        alloc = NodeGranularAllocator(rack=BaselineRack(n_nodes=2))
+        alloc.allocate(JobRequest("a", gpus=8))
+        with pytest.raises(AllocationError):
+            alloc.allocate(JobRequest("b", gpus=4))
+
+    def test_release(self):
+        alloc = NodeGranularAllocator(rack=BaselineRack(n_nodes=2))
+        alloc.allocate(JobRequest("a", gpus=8))
+        alloc.release("a")
+        assert alloc.nodes_used == 0
+
+    def test_disaggregation_packs_tighter(self):
+        """The headline utilization argument: pooled allocation fits a
+        complementary job mix that node-granular allocation cannot."""
+        rack = BaselineRack(n_nodes=2)
+        pooled = DisaggregatedAllocator.for_rack(rack)
+        nodal = NodeGranularAllocator(rack=rack)
+        gpu_heavy = JobRequest("g", cpus=1, gpus=8, memory_gbyte=32.0)
+        mem_heavy = JobRequest("m", cpus=1, gpus=0, memory_gbyte=480.0)
+        pooled.allocate(gpu_heavy)
+        pooled.allocate(mem_heavy)  # fits: pools are shared
+        nodal.allocate(gpu_heavy)   # consumes both nodes
+        with pytest.raises(AllocationError):
+            nodal.allocate(mem_heavy)

@@ -1,0 +1,71 @@
+"""Electronic-vs-photonic comparison (Fig. 12)."""
+
+import pytest
+
+from repro.core.comparison import SpeedupEntry, electronic_vs_photonic
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return electronic_vs_photonic()
+
+
+class TestSpeedupEntry:
+    def test_speedup_formula(self):
+        e = SpeedupEntry("b", "inorder", photonic_slowdown=0.10,
+                         electronic_slowdown=0.32)
+        assert e.speedup == pytest.approx(1.32 / 1.10 - 1.0)
+
+    def test_equal_slowdowns_zero_speedup(self):
+        e = SpeedupEntry("b", "gpu", 0.2, 0.2)
+        assert e.speedup == 0.0
+
+
+class TestFig12(object):
+    def test_entry_counts(self, comparison):
+        entries, summaries = comparison
+        # 13 medium PARSEC + 24 NAS + 14 Rodinia = 51 per CPU core type,
+        # plus 24 GPU apps.
+        per_core = {s.core: s.n for s in summaries}
+        assert per_core == {"inorder": 51, "ooo": 51, "gpu": 24}
+
+    def test_photonics_always_wins(self, comparison):
+        entries, _ = comparison
+        assert all(e.speedup >= 0 for e in entries)
+
+    def test_inorder_mean_near_paper(self, comparison):
+        # Paper: "the average speedup for in-order cores is 9%".
+        _, summaries = comparison
+        inorder = next(s for s in summaries if s.core == "inorder")
+        assert 0.05 < inorder.mean_speedup < 0.14
+
+    def test_ooo_mean_near_paper(self, comparison):
+        # Paper: "For OOO compute cores, the average is 15%".
+        _, summaries = comparison
+        ooo = next(s for s in summaries if s.core == "ooo")
+        assert 0.08 < ooo.mean_speedup < 0.20
+
+    def test_gpu_mean_near_paper(self, comparison):
+        # Paper: "For GPUs, the average ... 61%" (bandwidth-starved
+        # electronic fabric).
+        _, summaries = comparison
+        gpu = next(s for s in summaries if s.core == "gpu")
+        assert 0.40 < gpu.mean_speedup < 0.80
+
+    def test_max_exceeds_mean(self, comparison):
+        _, summaries = comparison
+        for s in summaries:
+            assert s.max_speedup >= s.mean_speedup
+
+    def test_custom_latencies_shrink_gap(self):
+        entries, summaries = electronic_vs_photonic(
+            photonic_ns=35.0, electronic_ns=45.0,
+            gpu_bandwidth_derate=1.0)
+        inorder = next(s for s in summaries if s.core == "inorder")
+        base = electronic_vs_photonic()[1]
+        base_inorder = next(s for s in base if s.core == "inorder")
+        assert inorder.mean_speedup < base_inorder.mean_speedup
+
+    def test_invalid_derate_rejected(self):
+        with pytest.raises(ValueError):
+            electronic_vs_photonic(gpu_bandwidth_derate=0.0)

@@ -1,0 +1,77 @@
+"""Iso-performance comparison (paper §VI-E)."""
+
+import pytest
+
+from repro.core.isoperf import (
+    double_throughput_alternative,
+    iso_performance_comparison,
+    pooling_reduction_factor,
+)
+from repro.rack.chips import ChipType
+
+
+class TestPaperArithmetic:
+    def test_baseline_1920(self):
+        result = iso_performance_comparison()
+        assert result.baseline_total == 1920
+
+    def test_disaggregated_near_1075(self):
+        # "our disaggregated rack has 1075 total modules".
+        result = iso_performance_comparison()
+        assert 1050 < result.disaggregated_total < 1100
+
+    def test_44pct_reduction(self):
+        # "an approximately 44% reduction".
+        result = iso_performance_comparison()
+        assert result.module_reduction == pytest.approx(0.44, abs=0.02)
+
+    def test_overprovision_factors(self):
+        # "+6% more GPUs and 15% more CPUs".
+        result = iso_performance_comparison()
+        assert result.cpu_overprovision == pytest.approx(0.15)
+        assert result.gpu_overprovision == pytest.approx(0.0565, abs=0.01)
+
+    def test_memory_nic_reductions(self):
+        # "4x fewer memory modules and 2x fewer NICs".
+        result = iso_performance_comparison()
+        assert result.disaggregated_modules[ChipType.DDR4] == \
+            pytest.approx(1024 / 4)
+        assert result.disaggregated_modules[ChipType.NIC] == \
+            pytest.approx(256 / 2)
+
+    def test_invalid_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            iso_performance_comparison(memory_reduction=0.0)
+
+
+class TestEmpiricalPooling:
+    def test_memory_pooling_at_least_4x(self):
+        # Our synthetic Cori profile supports at least the paper's
+        # (conservative) 4x memory-module reduction.
+        factor = pooling_reduction_factor("memory_capacity")
+        assert factor >= 4.0
+
+    def test_nic_pooling_at_least_2x(self):
+        factor = pooling_reduction_factor("nic_bandwidth")
+        assert factor >= 2.0
+
+    def test_empirical_mode_runs(self):
+        result = iso_performance_comparison(memory_reduction=None,
+                                            nic_reduction=None)
+        assert result.memory_reduction >= 4.0
+        assert result.module_reduction > 0.40
+
+    def test_headroom_reduces_factor(self):
+        tight = pooling_reduction_factor("memory_capacity", headroom=1.0)
+        loose = pooling_reduction_factor("memory_capacity", headroom=1.5)
+        assert loose < tight
+
+
+class TestDoubleThroughputAlternative:
+    def test_7pct_chip_increase(self):
+        # "only an approximately 7% chip increase ... doubles
+        # computational throughput".
+        alt = double_throughput_alternative()
+        assert alt["chip_increase"] == pytest.approx(128 / 1920)
+        assert alt["chip_increase"] < 0.08
+        assert alt["throughput_factor"] == 2.0

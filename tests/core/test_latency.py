@@ -1,0 +1,49 @@
+"""Latency budget composition (paper §III-C2, §VI-B)."""
+
+import pytest
+
+from repro.core.latency import (
+    PHOTONIC_BUDGET,
+    SENSITIVITY_POINTS_NS,
+    LatencyBudget,
+    photonic_disaggregation_latency_ns,
+)
+
+
+class TestBudget:
+    def test_default_is_35ns(self):
+        assert PHOTONIC_BUDGET.total_ns == 35.0
+
+    def test_decomposition(self):
+        assert PHOTONIC_BUDGET.eoe_conversion_ns == 15.0
+        assert PHOTONIC_BUDGET.propagation_ns == 20.0
+
+    def test_shorter_reach(self):
+        # 2 m reach => 15 + 10 = 25 ns (the Fig. 8 sweet spot).
+        assert PHOTONIC_BUDGET.with_fiber(2.0).total_ns == 25.0
+
+    def test_function_form(self):
+        assert photonic_disaggregation_latency_ns() == 35.0
+        assert photonic_disaggregation_latency_ns(fiber_m=3.0) == 30.0
+
+    def test_sensitivity_points(self):
+        assert SENSITIVITY_POINTS_NS == (25.0, 30.0, 35.0)
+
+    def test_propagation_under_20pct_of_dram(self):
+        # §III-C2: "rack-scale resource disaggregation adds 5-20 ns of
+        # latency, approximately less than 20% of the typical DRAM
+        # latency" (propagation share only).
+        budget = LatencyBudget()
+        assert budget.propagation_ns / 90.0 < 0.25
+
+    def test_dram_fraction_helper(self):
+        assert PHOTONIC_BUDGET.dram_latency_fraction(90.0) == pytest.approx(
+            35.0 / 90.0)
+        with pytest.raises(ValueError):
+            PHOTONIC_BUDGET.dram_latency_fraction(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyBudget(eoe_conversion_ns=-1.0)
+        with pytest.raises(ValueError):
+            LatencyBudget(fiber_m=-1.0)

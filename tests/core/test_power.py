@@ -1,0 +1,37 @@
+"""Power overhead analysis (paper §VI-C)."""
+
+import pytest
+
+from repro.core.power import rack_power_overhead
+from repro.photonics.power import TransceiverPower
+from repro.rack.baseline import BaselineRack
+
+
+class TestOverhead:
+    def test_paper_5_percent(self):
+        # "the power overhead for our photonic solution is
+        # approximately 5%".
+        result = rack_power_overhead()
+        assert 0.03 < result.overhead_fraction < 0.07
+
+    def test_photonic_magnitude(self):
+        result = rack_power_overhead()
+        assert 9_000 < result.photonic_w < 12_000
+
+    def test_better_transceivers_lower_overhead(self):
+        result = rack_power_overhead(
+            transceiver=TransceiverPower(pj_per_bit=0.25))
+        assert result.overhead_fraction < rack_power_overhead(
+        ).overhead_fraction
+
+    def test_smaller_rack_scales_both_sides(self):
+        small = rack_power_overhead(rack=BaselineRack(n_nodes=64))
+        full = rack_power_overhead()
+        # Overhead ratio stays in the same band (MCM count ~halves).
+        assert small.overhead_fraction == pytest.approx(
+            full.overhead_fraction, rel=0.2)
+
+    def test_switch_power_included(self):
+        without = rack_power_overhead(switch_power_w=0.0)
+        with_switches = rack_power_overhead(switch_power_w=1000.0)
+        assert with_switches.photonic_w - without.photonic_w == 1000.0

@@ -1,0 +1,82 @@
+"""Slowdown study runners (Figs. 6-11 machinery)."""
+
+import pytest
+
+from repro.core.slowdown import (
+    cpu_gpu_rodinia_comparison,
+    overall_mean,
+    run_cpu_study,
+    run_gpu_study,
+    suite_summary,
+)
+from repro.workloads.cpu_suites import parsec_benchmarks
+
+
+class TestRunCPUStudy:
+    def test_result_count(self):
+        res = run_cpu_study(35.0, benchmarks=parsec_benchmarks("large"))
+        # 13 benchmarks x 2 core types.
+        assert len(res) == 26
+
+    def test_single_core_selection(self):
+        res = run_cpu_study(35.0, benchmarks=parsec_benchmarks("large"),
+                            cores=("inorder",))
+        assert len(res) == 13
+        assert all(r.core == "inorder" for r in res)
+
+    def test_shared_trace_between_cores(self):
+        res = run_cpu_study(35.0, benchmarks=parsec_benchmarks("large")[:1])
+        assert res[0].llc_miss_rate == res[1].llc_miss_rate
+
+    def test_overall_mean(self):
+        res = run_cpu_study(35.0, benchmarks=parsec_benchmarks("large"))
+        mean = overall_mean(res, "inorder")
+        assert 0 < mean < 1
+        with pytest.raises(ValueError):
+            overall_mean(res, "gpu")
+
+
+class TestSuiteSummary:
+    def test_grouping(self):
+        res = run_cpu_study(35.0, benchmarks=parsec_benchmarks("medium"))
+        summary = suite_summary(res)
+        assert len(summary) == 2  # (parsec, medium) x {inorder, ooo}
+        for s in summary:
+            assert s.suite == "parsec"
+            assert s.input_size == "medium"
+            assert s.n == 13
+            assert s.max_slowdown >= s.mean_slowdown
+
+
+class TestRunGPUStudy:
+    def test_24_results(self):
+        assert len(run_gpu_study(35.0)) == 24
+
+    def test_fields(self):
+        for g in run_gpu_study(35.0):
+            assert g.extra_latency_ns == 35.0
+            assert 0 <= g.slowdown < 1
+            assert 0 <= g.llc_miss_rate <= 1
+
+    def test_sensitivity_monotone(self):
+        runs = {ns: {g.name: g.slowdown for g in run_gpu_study(ns)}
+                for ns in (25.0, 30.0, 35.0)}
+        for name in runs[25.0]:
+            assert runs[25.0][name] <= runs[30.0][name] <= runs[35.0][name]
+
+
+class TestRodiniaComparison:
+    def test_intersection_covered(self):
+        rows = cpu_gpu_rodinia_comparison(35.0)
+        assert len(rows) == 10
+        names = {r.benchmark for r in rows}
+        assert "nw" in names
+
+    def test_gpu_tolerates_best(self):
+        # Fig. 11: "GPUs tolerate the additional 35 ns latency better
+        # with a maximum slowdown of 12%".
+        rows = cpu_gpu_rodinia_comparison(35.0)
+        assert max(r.gpu for r in rows) < 0.15
+        # And CPUs suffer more on the worst benchmark.
+        worst = max(rows, key=lambda r: r.inorder)
+        assert worst.inorder > worst.gpu

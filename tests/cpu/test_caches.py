@@ -1,0 +1,180 @@
+"""Cache models: exact LRU simulator and stack-distance fast path."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.caches import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    ExactHierarchy,
+    SetAssociativeCache,
+    simulate_hierarchy,
+)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cfg = CacheConfig("L1", 32 * 1024, line_bytes=64, associativity=8)
+        assert cfg.lines == 512
+        assert cfg.sets == 64
+
+    def test_effective_lines(self):
+        cfg = CacheConfig("L1", 32 * 1024, effective_capacity_factor=0.5)
+        assert cfg.effective_lines == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 0)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 100, line_bytes=64)  # not a multiple
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1024, associativity=0)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1024, effective_capacity_factor=0.0)
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(CacheConfig("t", 1024, line_bytes=64,
+                                                associativity=2))
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)      # same line
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways; lines mapping to set 0: 0, 2, 4 (line index
+        # stride = sets).
+        cfg = CacheConfig("t", 4 * 64, line_bytes=64, associativity=2)
+        cache = SetAssociativeCache(cfg)
+        a, b, c = 0, 2 * 64, 4 * 64  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)              # evicts a (LRU)
+        assert not cache.access(a)   # a was evicted
+        assert cache.access(c)       # c still resident
+
+    def test_lru_update_on_hit(self):
+        cfg = CacheConfig("t", 4 * 64, line_bytes=64, associativity=2)
+        cache = SetAssociativeCache(cfg)
+        a, b, c = 0, 2 * 64, 4 * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)              # a becomes MRU
+        cache.access(c)              # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_working_set_within_capacity_all_hits(self):
+        cfg = CacheConfig("t", 64 * 64, line_bytes=64, associativity=64)
+        cache = SetAssociativeCache(cfg)
+        addrs = [i * 64 for i in range(32)]
+        for a in addrs:
+            cache.access(a)
+        cache.hits = cache.misses = 0
+        for _ in range(10):
+            for a in addrs:
+                assert cache.access(a)
+        assert cache.miss_rate == 0.0
+
+    def test_reset(self):
+        cache = SetAssociativeCache(CacheConfig("t", 1024, line_bytes=64))
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0
+        assert not cache.access(0)
+
+    def test_negative_address_rejected(self):
+        cache = SetAssociativeCache(CacheConfig("t", 1024, line_bytes=64))
+        with pytest.raises(ValueError):
+            cache.access(-1)
+
+
+class TestStackDistanceModel:
+    def test_classification(self):
+        h = CacheHierarchy()
+        c1, c2, c3 = h.level_line_thresholds()
+        sd = np.array([0, c1 - 1, c1, c2 - 1, c2, c3 - 1, c3, 10 * c3])
+        stats = simulate_hierarchy(sd, instructions=100)
+        assert stats.l1_hits == 2
+        assert stats.l2_hits == 2
+        assert stats.llc_hits == 2
+        assert stats.dram_accesses == 2
+
+    def test_llc_miss_rate(self):
+        h = CacheHierarchy()
+        _, c2, c3 = h.level_line_thresholds()
+        sd = np.array([c2] * 3 + [c3] * 1, dtype=float)
+        stats = simulate_hierarchy(sd, instructions=10)
+        assert stats.llc_miss_rate == pytest.approx(0.25)
+
+    def test_instruction_consistency_checked(self):
+        with pytest.raises(ValueError):
+            simulate_hierarchy(np.zeros(10), instructions=5)
+
+    def test_agrees_with_exact_lru_on_scan(self):
+        """Cyclic scan over W lines: SD model and exact LRU agree.
+
+        A repeating scan of W distinct lines has stack distance W-1 for
+        every non-cold access, so both models put it entirely in the
+        first level whose capacity exceeds W.
+        """
+        w = 128   # fits L1 (512 lines)
+        l1 = CacheConfig("L1", 32 * 1024, effective_capacity_factor=1.0)
+        exact = SetAssociativeCache(
+            CacheConfig("L1", 32 * 1024, associativity=512))
+        addrs = [i * 64 for i in range(w)]
+        for _ in range(4):
+            for a in addrs:
+                exact.access(a)
+        exact_miss = exact.misses  # only cold misses
+        assert exact_miss == w
+        sd = np.full(4 * w, w - 1, dtype=float)
+        h = CacheHierarchy(l1=l1)
+        stats = simulate_hierarchy(sd, instructions=4 * w, hierarchy=h)
+        assert stats.l1_hits == 4 * w  # steady-state view (no cold)
+
+    def test_hierarchy_must_grow(self):
+        small = CacheConfig("L1", 32 * 1024)
+        with pytest.raises(ValueError):
+            CacheHierarchy(l1=small, l2=small)
+
+
+class TestExactHierarchy:
+    def test_serviced_levels(self):
+        eh = ExactHierarchy()
+        level = eh.access(0)
+        assert level == "DRAM"       # cold miss everywhere
+        assert eh.access(0) == "L1"  # now resident
+
+    def test_stats_conversion(self):
+        eh = ExactHierarchy()
+        for i in range(10):
+            eh.access(i * 64)
+        stats = eh.stats(instructions=40)
+        assert stats.mem_accesses == 10
+        assert stats.dram_accesses == 10
+
+
+class TestCacheStats:
+    def test_outcome_conservation_enforced(self):
+        with pytest.raises(ValueError):
+            CacheStats(instructions=10, mem_accesses=5,
+                       l1_hits=1, l2_hits=1, llc_hits=1, dram_accesses=1)
+
+    def test_derived_metrics(self):
+        stats = CacheStats(instructions=100, mem_accesses=40,
+                           l1_hits=20, l2_hits=10, llc_hits=5,
+                           dram_accesses=5)
+        assert stats.llc_accesses == 10
+        assert stats.llc_miss_rate == 0.5
+        assert stats.dram_per_instruction == 0.05
+        assert stats.mem_ratio == 0.4
+
+    def test_zero_llc_accesses(self):
+        stats = CacheStats(instructions=10, mem_accesses=4,
+                           l1_hits=4, l2_hits=0, llc_hits=0,
+                           dram_accesses=0)
+        assert stats.llc_miss_rate == 0.0

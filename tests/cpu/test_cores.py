@@ -1,0 +1,129 @@
+"""In-order and OOO core timing models (paper §VI-B)."""
+
+import pytest
+
+from repro.cpu.caches import CacheStats
+from repro.cpu.core_inorder import InOrderCore
+from repro.cpu.core_ooo import OutOfOrderCore
+from repro.cpu.memory import MemoryModel
+
+
+def stats(instructions=1000, mem=400, l1=300, l2=40, llc=30, dram=30):
+    return CacheStats(instructions=instructions, mem_accesses=mem,
+                      l1_hits=l1, l2_hits=l2, llc_hits=llc,
+                      dram_accesses=dram)
+
+
+BASELINE = MemoryModel()  # 25 ns base, 0 extra, 2 GHz
+
+
+class TestInOrderCore:
+    def test_cycle_accounting(self):
+        core = InOrderCore(cpi_base=1.0)
+        result = core.execute(stats(), BASELINE)
+        expected = (1000 * 1.0          # compute
+                    + 40 * 8.0          # L2-serviced
+                    + 30 * 20.0         # LLC-serviced
+                    + 30 * (20.0 + 50.0))  # DRAM (LLC traversal + 25 ns)
+        assert result.cycles == pytest.approx(expected)
+
+    def test_extra_latency_only_hits_dram_path(self):
+        core = InOrderCore()
+        base = core.execute(stats(), BASELINE)
+        slow = core.execute(stats(), BASELINE.with_extra(35.0))
+        assert slow.cycles - base.cycles == pytest.approx(30 * 70.0)
+        assert slow.compute_cycles == base.compute_cycles
+        assert slow.l2_stall_cycles == base.l2_stall_cycles
+
+    def test_slowdown_zero_without_dram(self):
+        core = InOrderCore()
+        s = stats(l1=330, l2=40, llc=30, dram=0)
+        assert core.slowdown(s, BASELINE, 35.0) == 0.0
+
+    def test_slowdown_monotone_in_latency(self):
+        core = InOrderCore()
+        s = stats()
+        values = [core.slowdown(s, BASELINE, ns) for ns in (25, 30, 35, 85)]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_memory_stall_fraction(self):
+        core = InOrderCore()
+        result = core.execute(stats(), BASELINE)
+        assert 0 < result.memory_stall_fraction < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InOrderCore(cpi_base=0.0)
+
+
+class TestOutOfOrderCore:
+    def test_faster_baseline_than_inorder(self):
+        inorder = InOrderCore(cpi_base=1.0)
+        ooo = OutOfOrderCore(cpi_exec=0.45, mlp=2.0)
+        s = stats()
+        assert (ooo.execute(s, BASELINE).cycles
+                < inorder.execute(s, BASELINE).cycles)
+
+    def test_mlp_divides_miss_stall(self):
+        low = OutOfOrderCore(mlp=1.0)
+        high = OutOfOrderCore(mlp=4.0)
+        s = stats()
+        assert (high.execute(s, BASELINE).dram_stall_cycles
+                == pytest.approx(
+                    low.execute(s, BASELINE).dram_stall_cycles / 4.0))
+
+    def test_hide_window_absorbs_latency(self):
+        core = OutOfOrderCore(hide_cycles=70.0, mlp=1.0)
+        # Miss path = 20 + 50 = 70 cycles, fully hidden at baseline.
+        result = core.execute(stats(), BASELINE)
+        assert result.dram_stall_cycles == 0.0
+        # But the 35 ns adder becomes exposed.
+        slow = core.execute(stats(), BASELINE.with_extra(35.0))
+        assert slow.dram_stall_cycles == pytest.approx(30 * 70.0)
+
+    def test_partial_exposure_scales_hits(self):
+        full = OutOfOrderCore(partial_exposure=1.0)
+        part = OutOfOrderCore(partial_exposure=0.5)
+        s = stats()
+        assert (part.execute(s, BASELINE).l2_stall_cycles
+                == pytest.approx(
+                    full.execute(s, BASELINE).l2_stall_cycles / 2))
+
+    def test_slowdown_monotone_in_latency(self):
+        core = OutOfOrderCore()
+        s = stats()
+        values = [core.slowdown(s, BASELINE, ns) for ns in (25, 30, 35, 85)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutOfOrderCore(mlp=0.5)
+        with pytest.raises(ValueError):
+            OutOfOrderCore(cpi_exec=0.0)
+        with pytest.raises(ValueError):
+            OutOfOrderCore(partial_exposure=1.5)
+        with pytest.raises(ValueError):
+            OutOfOrderCore(hide_cycles=-1.0)
+
+
+class TestRelativeBehaviour:
+    def test_low_mlp_memory_bound_ooo_slows_less_than_inorder(self):
+        """Dependence-bound codes (NW): OOO relative slowdown below
+        in-order because its baseline keeps a serialization floor."""
+        s = stats(instructions=1000, mem=350, l1=100, l2=10, llc=30,
+                  dram=210)
+        inorder = InOrderCore(cpi_base=1.0)
+        ooo = OutOfOrderCore(cpi_exec=1.5, mlp=6.0)
+        assert (ooo.slowdown(s, BASELINE, 35.0)
+                < inorder.slowdown(s, BASELINE, 35.0))
+
+    def test_streaming_ooo_slows_more_than_inorder(self):
+        """Throughput codes (Parsec): OOO baseline is fast, so the same
+        adder is a larger relative hit."""
+        s = stats(instructions=1000, mem=300, l1=250, l2=20, llc=15,
+                  dram=15)
+        inorder = InOrderCore(cpi_base=1.0)
+        ooo = OutOfOrderCore(cpi_exec=0.35, mlp=1.5)
+        assert (ooo.slowdown(s, BASELINE, 35.0)
+                > inorder.slowdown(s, BASELINE, 35.0))

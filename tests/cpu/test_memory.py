@@ -1,0 +1,47 @@
+"""Memory latency model."""
+
+import pytest
+
+from repro.cpu.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_total_latency(self):
+        mem = MemoryModel(base_latency_ns=25.0, extra_latency_ns=35.0)
+        assert mem.total_latency_ns == 60.0
+
+    def test_cycles_at_2ghz(self):
+        mem = MemoryModel(base_latency_ns=25.0, extra_latency_ns=35.0,
+                          clock_ghz=2.0)
+        assert mem.total_latency_cycles == 120.0
+        assert mem.extra_latency_cycles == 70.0
+
+    def test_with_extra_copies(self):
+        base = MemoryModel()
+        photonic = base.with_extra(35.0)
+        assert base.extra_latency_ns == 0.0
+        assert photonic.extra_latency_ns == 35.0
+        assert photonic.base_latency_ns == base.base_latency_ns
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(base_latency_ns=-1.0)
+        with pytest.raises(ValueError):
+            MemoryModel(clock_ghz=0.0)
+
+
+class TestMissCycleInflation:
+    def test_35ns_in_paper_band(self):
+        # §VI-B1: "the cycles the LLC spends in a miss increase by 50%
+        # to 150%".
+        mem = MemoryModel().with_extra(35.0)
+        inflation = mem.miss_cycle_inflation(llc_penalty_cycles=20.0)
+        assert 0.5 <= inflation <= 1.5
+
+    def test_zero_extra_zero_inflation(self):
+        assert MemoryModel().miss_cycle_inflation() == 0.0
+
+    def test_electronic_inflation_larger(self):
+        photonic = MemoryModel().with_extra(35.0).miss_cycle_inflation()
+        electronic = MemoryModel().with_extra(85.0).miss_cycle_inflation()
+        assert electronic > photonic

@@ -1,0 +1,71 @@
+"""CPU simulation facade."""
+
+import pytest
+
+from repro.cpu.simulator import CPUSimulator
+from repro.cpu.trace import TraceSpec
+
+
+@pytest.fixture
+def sim():
+    return CPUSimulator()
+
+
+def spec(dram=0.1):
+    return TraceSpec(name="suite.bench.size", instructions=100_000,
+                     mem_ratio=0.3, l1_fraction=0.7 - dram,
+                     l2_fraction=0.1, llc_fraction=0.2)
+
+
+class TestFacade:
+    def test_cache_stats_deterministic(self, sim):
+        a = sim.cache_stats(spec())
+        b = sim.cache_stats(spec())
+        assert a == b
+
+    def test_run_inorder(self, sim):
+        res = sim.run_inorder(spec(), extra_latency_ns=35.0)
+        assert res.core == "inorder"
+        assert res.extra_latency_ns == 35.0
+        assert res.slowdown > 0
+
+    def test_run_ooo(self, sim):
+        res = sim.run_ooo(spec(), extra_latency_ns=35.0, mlp=2.0)
+        assert res.core == "ooo"
+        assert res.slowdown > 0
+
+    def test_reusing_stats_consistent(self, sim):
+        s = spec()
+        stats = sim.cache_stats(s)
+        a = sim.run_inorder(s, 35.0, stats=stats)
+        b = sim.run_inorder(s, 35.0, stats=stats)
+        assert a.slowdown == b.slowdown
+
+    def test_result_fields(self, sim):
+        res = sim.run_inorder(spec(), 35.0)
+        assert 0 <= res.llc_miss_rate <= 1
+        assert res.dram_per_instruction > 0
+        assert 0 < res.memory_stall_fraction < 1
+        assert res.speedup_vs == pytest.approx(1 + res.slowdown)
+
+    def test_miss_cycle_inflation_in_band(self, sim):
+        # §VI-B1 again, now through the full pipeline.
+        res = sim.run_inorder(spec(), 35.0)
+        assert 0.5 <= res.miss_cycle_inflation <= 1.5
+
+    def test_latency_sensitivity_ordering(self, sim):
+        s = spec()
+        stats = sim.cache_stats(s)
+        slow = [sim.run_inorder(s, ns, stats=stats).slowdown
+                for ns in (25.0, 30.0, 35.0)]
+        assert slow == sorted(slow)
+
+    def test_25ns_roughly_halves_35ns_ooo(self, sim):
+        # §VI-B2: "reducing the additional latency to 25 ns from 35 ns
+        # reduces application slowdown by about half" (OOO cores, where
+        # the hide window eats a fixed share).
+        s = spec()
+        stats = sim.cache_stats(s)
+        s25 = sim.run_ooo(s, 25.0, stats=stats).slowdown
+        s35 = sim.run_ooo(s, 35.0, stats=stats).slowdown
+        assert 0.35 < s25 / s35 < 0.75

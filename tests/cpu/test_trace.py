@@ -1,0 +1,91 @@
+"""Synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.caches import CacheHierarchy, simulate_hierarchy
+from repro.cpu.trace import TraceSpec, generate_trace
+
+
+def spec(**kwargs):
+    defaults = dict(name="test.bench.large", instructions=100_000,
+                    mem_ratio=0.3, l1_fraction=0.6, l2_fraction=0.1,
+                    llc_fraction=0.2)
+    defaults.update(kwargs)
+    return TraceSpec(**defaults)
+
+
+class TestTraceSpec:
+    def test_dram_fraction(self):
+        s = spec()
+        assert s.dram_fraction == pytest.approx(0.1)
+
+    def test_mem_accesses(self):
+        assert spec().mem_accesses == 30_000
+
+    def test_expected_llc_miss_rate(self):
+        s = spec()
+        assert s.expected_llc_miss_rate == pytest.approx(0.1 / 0.3)
+
+    def test_no_llc_traffic(self):
+        s = spec(l1_fraction=0.9, l2_fraction=0.1, llc_fraction=0.0)
+        assert s.expected_llc_miss_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spec(mem_ratio=0.0)
+        with pytest.raises(ValueError):
+            spec(l1_fraction=0.9, l2_fraction=0.2)  # sums > 1
+        with pytest.raises(ValueError):
+            spec(l1_fraction=-0.1)
+        with pytest.raises(ValueError):
+            spec(instructions=0)
+
+
+class TestGeneration:
+    def test_trace_length(self):
+        trace = generate_trace(spec())
+        assert trace.mem_accesses == 30_000
+
+    def test_deterministic_by_name(self):
+        a = generate_trace(spec())
+        b = generate_trace(spec())
+        np.testing.assert_array_equal(a.stack_distances, b.stack_distances)
+
+    def test_explicit_seed_overrides(self):
+        a = generate_trace(spec(), seed=1)
+        b = generate_trace(spec(), seed=2)
+        assert not np.array_equal(a.stack_distances, b.stack_distances)
+
+    def test_cache_sim_recovers_fractions(self):
+        s = spec()
+        trace = generate_trace(s)
+        stats = simulate_hierarchy(trace.stack_distances, s.instructions)
+        n = s.mem_accesses
+        assert stats.l1_hits / n == pytest.approx(0.6, abs=0.01)
+        assert stats.l2_hits / n == pytest.approx(0.1, abs=0.01)
+        assert stats.llc_hits / n == pytest.approx(0.2, abs=0.01)
+        assert stats.dram_accesses / n == pytest.approx(0.1, abs=0.01)
+
+    def test_llc_miss_rate_matches_expectation(self):
+        s = spec()
+        trace = generate_trace(s)
+        stats = simulate_hierarchy(trace.stack_distances, s.instructions)
+        assert stats.llc_miss_rate == pytest.approx(
+            s.expected_llc_miss_rate, abs=0.02)
+
+    def test_pure_l1_workload(self):
+        s = spec(l1_fraction=1.0, l2_fraction=0.0, llc_fraction=0.0)
+        trace = generate_trace(s)
+        stats = simulate_hierarchy(trace.stack_distances, s.instructions)
+        assert stats.dram_accesses == 0
+        assert stats.l1_hits == s.mem_accesses
+
+    def test_respects_custom_hierarchy(self):
+        h = CacheHierarchy()
+        trace = generate_trace(spec(), hierarchy=h)
+        c3 = h.llc.effective_lines
+        # DRAM-pool distances stay within the documented [c3, 4*c3) band.
+        beyond = trace.stack_distances[trace.stack_distances >= c3]
+        assert beyond.size > 0
+        assert beyond.max() < 4 * c3

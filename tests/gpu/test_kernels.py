@@ -1,0 +1,73 @@
+"""GPU kernel/application descriptors."""
+
+import pytest
+
+from repro.gpu.kernels import ApplicationSpec, KernelSpec
+
+
+def kernel(**kwargs):
+    defaults = dict(name="k", instructions=1_000_000,
+                    mem_txn_per_instr=0.1, llc_miss_rate=0.4,
+                    occupancy=0.5, ilp=1.0)
+    defaults.update(kwargs)
+    return KernelSpec(**defaults)
+
+
+class TestKernelSpec:
+    def test_hbm_txn_per_instr(self):
+        k = kernel()
+        assert k.hbm_txn_per_instr == pytest.approx(0.04)
+
+    def test_hbm_transactions(self):
+        k = kernel()
+        assert k.hbm_transactions == pytest.approx(40_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel(instructions=0)
+        with pytest.raises(ValueError):
+            kernel(llc_miss_rate=1.5)
+        with pytest.raises(ValueError):
+            kernel(occupancy=0.0)
+        with pytest.raises(ValueError):
+            kernel(ilp=0.5)
+        with pytest.raises(ValueError):
+            kernel(mem_txn_per_instr=-0.1)
+
+
+class TestApplicationSpec:
+    def test_aggregates(self):
+        app = ApplicationSpec("a", "suite", (
+            kernel(name="k1", instructions=1_000_000, llc_miss_rate=0.2),
+            kernel(name="k2", instructions=3_000_000, llc_miss_rate=0.6),
+        ))
+        assert app.instructions == 4_000_000
+        # Transaction-weighted miss rate (equal txn/instr): 0.5.
+        assert app.llc_miss_rate == pytest.approx(
+            (1 * 0.2 + 3 * 0.6) / 4)
+
+    def test_needs_kernels(self):
+        with pytest.raises(ValueError):
+            ApplicationSpec("a", "suite", ())
+
+    def test_single_kernel_collapse(self):
+        app = ApplicationSpec("a", "suite", (
+            kernel(name="k1", occupancy=0.4),
+            kernel(name="k2", occupancy=0.8),
+        ))
+        merged = app.single_kernel()
+        assert merged.instructions == app.instructions
+        assert merged.occupancy == pytest.approx(0.6)
+        assert merged.llc_miss_rate == pytest.approx(app.llc_miss_rate)
+
+    def test_hbm_txn_per_instr_weighted(self):
+        app = ApplicationSpec("a", "suite", (
+            kernel(name="k1", mem_txn_per_instr=0.2, llc_miss_rate=0.5),
+            kernel(name="k2", mem_txn_per_instr=0.0, llc_miss_rate=0.5),
+        ))
+        assert app.hbm_txn_per_instr == pytest.approx(0.05)
+
+    def test_zero_traffic_miss_rate(self):
+        app = ApplicationSpec("a", "suite",
+                              (kernel(mem_txn_per_instr=0.0),))
+        assert app.llc_miss_rate == 0.0

@@ -1,0 +1,43 @@
+"""GPU memory model."""
+
+import pytest
+
+from repro.gpu.memory import GPUMemoryModel
+
+
+class TestGPUMemoryModel:
+    def test_latency_composition(self):
+        mem = GPUMemoryModel(hbm_latency_ns=220.0, extra_latency_ns=35.0)
+        assert mem.total_hbm_latency_ns == 255.0
+
+    def test_cycles_at_a100_clock(self):
+        mem = GPUMemoryModel(extra_latency_ns=0.0)
+        assert mem.total_hbm_latency_cycles == pytest.approx(220 * 1.41)
+
+    def test_with_extra(self):
+        base = GPUMemoryModel()
+        photonic = base.with_extra(35.0)
+        assert photonic.extra_latency_ns == 35.0
+        assert photonic.hbm_latency_ns == base.hbm_latency_ns
+        assert photonic.hbm_bandwidth_gbyte_s == base.hbm_bandwidth_gbyte_s
+
+    def test_bandwidth_cycles(self):
+        mem = GPUMemoryModel()
+        # 1e9 transactions x 64 B = 64 GB at 1555.2 GB/s = 41.2 ms
+        # = 58.0M cycles at 1.41 GHz.
+        cycles = mem.bandwidth_cycles(1e9)
+        seconds = 64e9 / 1555.2e9
+        assert cycles == pytest.approx(seconds * 1.41e9)
+
+    def test_bandwidth_cycles_scale_linearly(self):
+        mem = GPUMemoryModel()
+        assert mem.bandwidth_cycles(2e6) == pytest.approx(
+            2 * mem.bandwidth_cycles(1e6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUMemoryModel(hbm_latency_ns=0.0)
+        with pytest.raises(ValueError):
+            GPUMemoryModel(extra_latency_ns=-1.0)
+        with pytest.raises(ValueError):
+            GPUMemoryModel(hbm_bandwidth_gbyte_s=0.0)

@@ -1,0 +1,103 @@
+"""Analytical A100 model (PPT-GPU substitute)."""
+
+import pytest
+
+from repro.gpu.kernels import ApplicationSpec, KernelSpec
+from repro.gpu.memory import GPUMemoryModel
+from repro.gpu.model import A100Model
+
+
+def kernel(**kwargs):
+    defaults = dict(name="k", instructions=10_000_000,
+                    mem_txn_per_instr=0.1, llc_miss_rate=0.4,
+                    occupancy=0.5, ilp=1.0)
+    defaults.update(kwargs)
+    return KernelSpec(**defaults)
+
+
+def app(*kernels):
+    return ApplicationSpec("test.app", "test", tuple(kernels))
+
+
+class TestKernelTiming:
+    def test_compute_bound_kernel(self):
+        model = A100Model()
+        k = kernel(mem_txn_per_instr=0.001, llc_miss_rate=0.05,
+                   occupancy=0.9)
+        res = model.kernel_cycles(k)
+        assert not res.memory_bound
+        assert res.compute_cycles > res.bandwidth_cycles
+
+    def test_memory_bound_kernel(self):
+        model = A100Model()
+        k = kernel(mem_txn_per_instr=0.3, llc_miss_rate=0.8)
+        res = model.kernel_cycles(k)
+        assert res.memory_bound
+
+    def test_occupancy_hides_latency(self):
+        model = A100Model()
+        low = model.kernel_cycles(kernel(occupancy=0.1))
+        high = model.kernel_cycles(kernel(occupancy=0.9))
+        assert low.exposed_latency_cycles > high.exposed_latency_cycles
+
+    def test_ilp_hides_latency(self):
+        model = A100Model()
+        low = model.kernel_cycles(kernel(ilp=1.0))
+        high = model.kernel_cycles(kernel(ilp=2.0))
+        assert low.exposed_latency_cycles > high.exposed_latency_cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            A100Model(sm_count=0)
+        with pytest.raises(ValueError):
+            A100Model(hiding_efficiency=1.5)
+
+
+class TestSlowdown:
+    def test_zero_extra_zero_slowdown(self):
+        model = A100Model()
+        assert model.slowdown(app(kernel()), 0.0) == pytest.approx(0.0)
+
+    def test_slowdown_monotone_in_latency(self):
+        model = A100Model()
+        a = app(kernel())
+        values = [model.slowdown(a, ns) for ns in (25.0, 30.0, 35.0, 85.0)]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_compute_bound_barely_affected(self):
+        model = A100Model()
+        a = app(kernel(mem_txn_per_instr=0.002, llc_miss_rate=0.05,
+                       occupancy=0.9, ilp=1.5))
+        assert model.slowdown(a, 35.0) < 0.01
+
+    def test_latency_sensitive_kernel_slows(self):
+        model = A100Model()
+        a = app(kernel(mem_txn_per_instr=0.15, llc_miss_rate=0.7,
+                       occupancy=0.25))
+        assert model.slowdown(a, 35.0) > 0.05
+
+    def test_gpu_tolerates_better_than_typical_cpu(self):
+        # Fig. 11's message: GPU slowdowns stay low where CPUs suffer.
+        model = A100Model()
+        a = app(kernel(mem_txn_per_instr=0.13, llc_miss_rate=0.6,
+                       occupancy=0.27))
+        assert model.slowdown(a, 35.0) < 0.15
+
+
+class TestApplicationAggregation:
+    def test_cycles_sum_over_kernels(self):
+        model = A100Model()
+        k1 = kernel(name="k1", instructions=5_000_000)
+        k2 = kernel(name="k2", instructions=5_000_000)
+        combined = model.application_cycles(app(k1, k2))
+        separate = (model.kernel_cycles(k1).cycles
+                    + model.kernel_cycles(k2).cycles)
+        assert combined.cycles == pytest.approx(separate)
+
+    def test_custom_memory_model(self):
+        model = A100Model()
+        throttled = GPUMemoryModel(hbm_bandwidth_gbyte_s=400.0)
+        a = app(kernel(mem_txn_per_instr=0.2, llc_miss_rate=0.8))
+        assert (model.application_cycles(a, throttled).cycles
+                > model.application_cycles(a).cycles)

@@ -1,0 +1,65 @@
+"""Electronic comparator latencies (paper §VI-D)."""
+
+import pytest
+
+from repro.network.electronic import (
+    ELECTRONIC_CATALOG,
+    ElectronicSwitch,
+    best_electronic_latency_ns,
+    electronic_disaggregation_latency_ns,
+)
+
+
+class TestCatalog:
+    def test_pcie_gen5_hop_latency(self):
+        assert ELECTRONIC_CATALOG["pcie-gen5"].hop_latency_ns == 10.0
+
+    def test_rosetta_infiniband_200ns(self):
+        # "Rosetta and Infiniband have a measured per hop latency of no
+        # less than approximately 200 ns."
+        assert ELECTRONIC_CATALOG["rosetta"].hop_latency_ns >= 200.0
+        assert ELECTRONIC_CATALOG["infiniband"].hop_latency_ns >= 200.0
+
+    def test_cxl_pond_142ns(self):
+        # "recent small-group prototypes using CXL report a minimum of
+        # 142 ns latency."
+        assert ELECTRONIC_CATALOG["cxl-pond"].hop_latency_ns == 142.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElectronicSwitch("bad", -1.0, 10, 10.0)
+        with pytest.raises(ValueError):
+            ElectronicSwitch("bad", 1.0, 0, 10.0)
+
+
+class TestTreeComposition:
+    def test_single_switch_one_hop(self):
+        sw = ELECTRONIC_CATALOG["pcie-gen5"]
+        assert sw.hops_for_endpoints(100) == 1
+
+    def test_rack_scale_needs_tree(self):
+        sw = ELECTRONIC_CATALOG["pcie-gen5"]
+        assert sw.hops_for_endpoints(350) == 5
+
+    def test_zero_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            ELECTRONIC_CATALOG["pcie-gen5"].hops_for_endpoints(0)
+
+
+class TestHeadlineLatency:
+    def test_85ns_for_pcie_tree(self):
+        # §VI-D: "the additional latency for disaggregation in the PCIe
+        # case becomes 85 ns compared to 35 ns for our photonic
+        # architecture."
+        assert electronic_disaggregation_latency_ns() == pytest.approx(85.0)
+
+    def test_best_electronic_is_85(self):
+        assert best_electronic_latency_ns() == pytest.approx(85.0)
+
+    def test_rosetta_much_worse(self):
+        rosetta = electronic_disaggregation_latency_ns("rosetta")
+        assert rosetta > 500.0
+
+    def test_photonic_wins_everywhere(self):
+        for name in ELECTRONIC_CATALOG:
+            assert electronic_disaggregation_latency_ns(name) > 35.0

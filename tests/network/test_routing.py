@@ -1,0 +1,130 @@
+"""Indirect (Valiant) routing (paper §IV)."""
+
+import pytest
+
+from repro.network.routing import IndirectRouter, RouteKind
+from repro.network.state import PiggybackState
+from repro.network.wavelength import WavelengthAllocator
+
+
+def make_router(n_nodes=6, planes=2, flows_per_wavelength=1,
+                update_period=None, seed=0):
+    alloc = WavelengthAllocator(n_nodes=n_nodes, planes=planes,
+                                flows_per_wavelength=flows_per_wavelength)
+    state = None
+    if update_period is not None:
+        state = PiggybackState(alloc, update_period=update_period,
+                               jitter=False)
+    return IndirectRouter(alloc, state=state, rng_seed=seed), alloc, state
+
+
+class TestDirectFirst:
+    def test_direct_when_available(self):
+        router, _, _ = make_router()
+        decision = router.route_flow(0, 1)
+        assert decision.kind is RouteKind.DIRECT
+        assert decision.path == (0, 1)
+        assert decision.hops == 1
+
+    def test_direct_until_exhausted(self):
+        router, alloc, _ = make_router(planes=2)
+        router.route_flow(0, 1)
+        router.route_flow(0, 1)
+        # Third flow cannot go direct (2 planes x 1 slot used).
+        decision = router.route_flow(0, 1)
+        assert decision.kind is RouteKind.INDIRECT
+        assert len(decision.path) == 3
+
+    def test_self_flow_rejected(self):
+        router, _, _ = make_router()
+        with pytest.raises(ValueError):
+            router.route_flow(2, 2)
+
+
+class TestIndirect:
+    def test_indirect_uses_free_intermediate(self):
+        router, alloc, _ = make_router(n_nodes=4, planes=1)
+        alloc.allocate(0, 1)  # direct path busy
+        decision = router.route_flow(0, 1)
+        assert decision.kind is RouteKind.INDIRECT
+        src, mid, dst = decision.path
+        assert (src, dst) == (0, 1)
+        assert mid in (2, 3)
+
+    def test_indirect_reserves_both_hops(self):
+        router, alloc, _ = make_router(n_nodes=4, planes=1)
+        alloc.allocate(0, 1)
+        decision = router.route_flow(0, 1)
+        mid = decision.path[1]
+        assert alloc.used_slots(0, mid) == 1
+        assert alloc.used_slots(mid, 1) == 1
+
+    def test_release_frees_everything(self):
+        router, alloc, _ = make_router(n_nodes=4, planes=1)
+        alloc.allocate(0, 1)
+        decision = router.route_flow(0, 1)
+        router.release(decision)
+        mid = decision.path[1]
+        assert alloc.used_slots(0, mid) == 0
+        assert alloc.used_slots(mid, 1) == 0
+
+    def test_blocked_when_saturated(self):
+        router, alloc, _ = make_router(n_nodes=3, planes=1)
+        # Saturate every wavelength out of 0 and into 1.
+        alloc.allocate(0, 1)
+        alloc.allocate(0, 2)
+        decision = router.route_flow(0, 1)
+        assert decision.kind is RouteKind.BLOCKED
+        assert decision.hops == 0
+
+    def test_candidates_respect_both_hops(self):
+        router, alloc, _ = make_router(n_nodes=4, planes=1)
+        alloc.allocate(0, 2)        # first hop busy to 2
+        alloc.allocate(3, 1)        # second hop busy from 3
+        candidates = router.candidate_intermediates(0, 1)
+        assert list(candidates) == []
+
+
+class TestStaleFallback:
+    def test_stale_state_triggers_double_indirect(self):
+        router, alloc, state = make_router(
+            n_nodes=5, planes=1, update_period=1000)
+        # Freeze views fresh, then occupy 0->1 and all mid->1 links so
+        # every intermediate's onward hop is secretly busy.
+        alloc.allocate(0, 1)
+        for mid in (2, 3, 4):
+            alloc.allocate(mid, 1)
+        decision = router.route_flow(0, 1)
+        # Stale views still claim mid->1 free; the intermediate falls
+        # back to a second intermediate, or blocks if none exists.
+        assert decision.kind in (RouteKind.DOUBLE_INDIRECT,
+                                 RouteKind.BLOCKED)
+        if decision.kind is RouteKind.DOUBLE_INDIRECT:
+            assert decision.used_stale_fallback
+            assert router.stale_mispredictions >= 1
+
+    def test_fresh_state_avoids_mispredictions(self):
+        router, alloc, state = make_router(
+            n_nodes=5, planes=1, update_period=1)
+        alloc.allocate(0, 1)
+        state.broadcast_all()
+        router.route_flow(0, 1)
+        assert router.stale_mispredictions == 0
+
+    def test_stats_accumulate(self):
+        router, alloc, _ = make_router()
+        router.route_flow(0, 1)
+        router.route_flow(1, 2)
+        assert router.stats[RouteKind.DIRECT] == 2
+
+
+class TestConservation:
+    def test_no_leaked_reservations_after_release(self):
+        router, alloc, _ = make_router(n_nodes=6, planes=2)
+        decisions = []
+        for dst in range(1, 6):
+            decisions.append(router.route_flow(0, dst))
+        for d in decisions:
+            if d.kind is not RouteKind.BLOCKED:
+                router.release(d)
+        assert alloc.utilization() == 0.0

@@ -1,0 +1,62 @@
+"""Graph views of fabric plans."""
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import (
+    awgr_connectivity_graph,
+    min_pair_weight,
+    wss_connectivity_graph,
+    wss_pair_path_counts,
+)
+from repro.rack.design import plan_awgr_fabric, plan_wss_fabric
+
+
+class TestAWGRGraph:
+    def test_sampled_graph_complete(self):
+        plan = plan_awgr_fabric()
+        graph = awgr_connectivity_graph(plan, sample=20)
+        assert graph.number_of_nodes() == 20
+        assert graph.number_of_edges() == 20 * 19 // 2
+
+    def test_min_weight_at_least_five(self):
+        plan = plan_awgr_fabric()
+        graph = awgr_connectivity_graph(plan, sample=40)
+        assert min_pair_weight(graph) >= 5
+
+    def test_edge_gbps_attribute(self):
+        plan = plan_awgr_fabric()
+        graph = awgr_connectivity_graph(plan, sample=5)
+        for _, _, data in graph.edges(data=True):
+            assert data["gbps"] == data["wavelengths"] * 25.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            min_pair_weight(nx.Graph())
+
+
+class TestWSSGraph:
+    def test_bipartite_structure(self):
+        plan = plan_wss_fabric()
+        graph = wss_connectivity_graph(plan)
+        mcm_nodes = [n for n, d in graph.nodes(data=True)
+                     if d.get("bipartite") == "mcm"]
+        switch_nodes = [n for n, d in graph.nodes(data=True)
+                        if d.get("bipartite") == "switch"]
+        assert len(mcm_nodes) == 350
+        assert len(switch_nodes) == 11
+
+    def test_graph_connected(self):
+        plan = plan_wss_fabric()
+        graph = wss_connectivity_graph(plan)
+        assert nx.is_connected(graph)
+
+    def test_pair_path_counts_symmetric(self):
+        plan = plan_wss_fabric()
+        counts = wss_pair_path_counts(plan, sample=30)
+        assert (counts == counts.T).all()
+        # Off-diagonal minimum is the >= 3 direct-path property.
+        n = counts.shape[0]
+        off_diag = [counts[i, j] for i in range(n) for j in range(n)
+                    if i != j]
+        assert min(off_diag) >= 3

@@ -1,0 +1,97 @@
+"""Traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.network.traffic import (
+    Flow,
+    cpu_memory_traffic,
+    gpu_allreduce_traffic,
+    gpu_hbm_traffic,
+    hotspot_traffic,
+    uniform_traffic,
+)
+
+
+class TestFlow:
+    def test_slots_rounding(self):
+        flow = Flow(0, 1, gbps=26.0)
+        assert flow.slots(25.0) == 2
+        assert flow.slots(3.125) == 9
+
+    def test_minimum_one_slot(self):
+        assert Flow(0, 1, gbps=0.01).slots(25.0) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(1, 1, gbps=1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(0, 1, gbps=0.0)
+
+
+class TestUniform:
+    def test_count_and_endpoints(self):
+        flows = uniform_traffic(10, 50, rng=np.random.default_rng(0))
+        assert len(flows) == 50
+        for f in flows:
+            assert 0 <= f.src < 10
+            assert 0 <= f.dst < 10
+            assert f.src != f.dst
+
+    def test_seeded_reproducible(self):
+        a = uniform_traffic(10, 20, rng=np.random.default_rng(5))
+        b = uniform_traffic(10, 20, rng=np.random.default_rng(5))
+        assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
+
+
+class TestHotspot:
+    def test_all_target_hotspot(self):
+        flows = hotspot_traffic(8, hotspot=3, n_flows=30)
+        assert all(f.dst == 3 for f in flows)
+        assert all(f.src != 3 for f in flows)
+
+    def test_bad_hotspot_rejected(self):
+        with pytest.raises(ValueError):
+            hotspot_traffic(8, hotspot=8, n_flows=1)
+
+
+class TestCPUMemory:
+    def test_demand_profile_quantiles(self):
+        cpus = list(range(200))
+        mems = list(range(200, 240))
+        flows = cpu_memory_traffic(cpus, mems,
+                                   rng=np.random.default_rng(2))
+        demands = np.array([f.gbps for f in flows])
+        # §VI-A: 25 Gbps covers ~97%, 125 Gbps ~99.5% of the time.
+        assert np.mean(demands <= 25.0) > 0.90
+        assert np.mean(demands <= 125.0) > 0.97
+
+    def test_explicit_demands(self):
+        flows = cpu_memory_traffic([0, 1], [2],
+                                   demand_gbps=np.array([5.0, 7.0]))
+        assert flows[0].gbps == 5.0
+        assert flows[1].gbps == 7.0
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            cpu_memory_traffic([], [1])
+
+
+class TestGPUPatterns:
+    def test_allreduce_ring(self):
+        flows = gpu_allreduce_traffic([0, 1, 2, 3], gbps_per_pair=900.0)
+        assert len(flows) == 4
+        assert (flows[0].src, flows[0].dst) == (0, 1)
+        assert (flows[-1].src, flows[-1].dst) == (3, 0)
+
+    def test_allreduce_needs_two(self):
+        with pytest.raises(ValueError):
+            gpu_allreduce_traffic([0], gbps_per_pair=1.0)
+
+    def test_hbm_streaming_bandwidth(self):
+        flows = gpu_hbm_traffic([0, 1], [2, 3])
+        # 1555.2 GB/s = 12441.6 Gbps per GPU.
+        assert flows[0].gbps == pytest.approx(12441.6)
+        assert flows[0].kind == "gpu-hbm"

@@ -1,0 +1,110 @@
+"""Wavelength occupancy allocator (paper §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.network.wavelength import WavelengthAllocator
+
+
+@pytest.fixture
+def alloc():
+    return WavelengthAllocator(n_nodes=8, planes=5, flows_per_wavelength=8)
+
+
+class TestCapacity:
+    def test_initially_all_free(self, alloc):
+        assert alloc.free_slots(0, 1) == 40
+        assert alloc.free_wavelengths(0, 1) == 5
+        assert alloc.utilization() == 0.0
+
+    def test_allocate_reduces_capacity(self, alloc):
+        alloc.allocate(0, 1, slots=3)
+        assert alloc.used_slots(0, 1) == 3
+        assert alloc.free_slots(0, 1) == 37
+
+    def test_pair_free_gbps(self, alloc):
+        # 40 slots x (25/8) Gbps = 125 Gbps.
+        assert alloc.pair_free_gbps(0, 1) == pytest.approx(125.0)
+        alloc.allocate(0, 1, slots=8)
+        assert alloc.pair_free_gbps(0, 1) == pytest.approx(100.0)
+
+    def test_has_capacity(self, alloc):
+        assert alloc.has_capacity(0, 1, 40)
+        assert not alloc.has_capacity(0, 1, 41)
+
+    def test_allocation_is_least_loaded(self, alloc):
+        planes = alloc.allocate(0, 1, slots=5)
+        # Five slots spread across the five planes.
+        assert sorted(planes) == [0, 1, 2, 3, 4]
+
+    def test_overflow_raises(self, alloc):
+        alloc.allocate(0, 1, slots=40)
+        with pytest.raises(RuntimeError):
+            alloc.allocate(0, 1, slots=1)
+
+
+class TestRelease:
+    def test_release_restores(self, alloc):
+        planes = alloc.allocate(2, 3, slots=4)
+        alloc.release(2, 3, planes)
+        assert alloc.free_slots(2, 3) == 40
+
+    def test_release_underflow_raises(self, alloc):
+        with pytest.raises(RuntimeError):
+            alloc.release(0, 1, [0])
+
+    def test_release_bad_plane_rejected(self, alloc):
+        alloc.allocate(0, 1)
+        with pytest.raises(ValueError):
+            alloc.release(0, 1, [9])
+
+    def test_reset(self, alloc):
+        alloc.allocate(0, 1, slots=10)
+        alloc.reset()
+        assert alloc.utilization() == 0.0
+
+
+class TestBitmaps:
+    def test_occupancy_bitmap(self, alloc):
+        alloc.allocate(0, 1, slots=40)
+        bitmap = alloc.occupancy_bitmap(0)
+        assert bitmap[1]
+        assert not bitmap[2]
+
+    def test_slot_bitmap_counts(self, alloc):
+        alloc.allocate(0, 1, slots=7)
+        alloc.allocate(0, 2, slots=2)
+        vec = alloc.slot_bitmap(0)
+        assert vec[1] == 7
+        assert vec[2] == 2
+        assert vec.sum() == 9
+
+    def test_bitmap_is_copy(self, alloc):
+        vec = alloc.slot_bitmap(0)
+        vec[1] = 99
+        assert alloc.slot_bitmap(0)[1] == 0
+
+
+class TestValidation:
+    def test_bad_indices(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.free_slots(0, 8)
+        with pytest.raises(ValueError):
+            alloc.allocate(-1, 0)
+
+    def test_bad_slot_count(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.allocate(0, 1, slots=0)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            WavelengthAllocator(n_nodes=1)
+
+    def test_utilization_counts_all_pairs(self, alloc):
+        alloc.allocate(0, 1, slots=40)
+        expected = 40 / (8 * 7 * 40)
+        assert alloc.utilization() == pytest.approx(expected)
+
+    def test_occupancy_dtype(self, alloc):
+        assert alloc.slot_bitmap(0).dtype == np.int32 or \
+            alloc.slot_bitmap(0).dtype == np.int64

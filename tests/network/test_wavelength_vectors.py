@@ -1,0 +1,63 @@
+"""Vectorized capacity views used by the fast routing path."""
+
+import numpy as np
+import pytest
+
+from repro.network.wavelength import WavelengthAllocator
+
+
+@pytest.fixture
+def alloc():
+    a = WavelengthAllocator(n_nodes=5, planes=3, flows_per_wavelength=4)
+    a.allocate(0, 1, slots=5)
+    a.allocate(0, 2, slots=2)
+    a.allocate(3, 1, slots=7)
+    return a
+
+
+class TestFreeSlotVectors:
+    def test_free_from_matches_scalar(self, alloc):
+        vec = alloc.free_slots_from(0)
+        for dst in range(5):
+            assert vec[dst] == alloc.free_slots(0, dst)
+
+    def test_free_to_matches_scalar(self, alloc):
+        vec = alloc.free_slots_to(1)
+        for src in range(5):
+            assert vec[src] == alloc.free_slots(src, 1)
+
+    def test_shapes(self, alloc):
+        assert alloc.free_slots_from(2).shape == (5,)
+        assert alloc.free_slots_to(2).shape == (5,)
+
+    def test_respects_plane_failure(self, alloc):
+        before = alloc.free_slots_from(4).copy()
+        alloc.fail_plane(0)
+        after = alloc.free_slots_from(4)
+        assert np.all(after == before - 4)  # one plane x 4 sub-slots
+
+    def test_out_of_range(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.free_slots_from(9)
+        with pytest.raises(ValueError):
+            alloc.free_slots_to(-1)
+
+
+class TestCandidateVectorization:
+    def test_candidates_match_bruteforce(self):
+        from repro.network.routing import IndirectRouter
+        alloc = WavelengthAllocator(n_nodes=8, planes=2,
+                                    flows_per_wavelength=1)
+        router = IndirectRouter(alloc)
+        # Saturate some links to create structure.
+        alloc.allocate(0, 3, slots=2)
+        alloc.allocate(5, 1, slots=2)
+        candidates = set(router.candidate_intermediates(0, 1).tolist())
+        expected = set()
+        for mid in range(8):
+            if mid in (0, 1):
+                continue
+            if (alloc.has_capacity(0, mid)
+                    and alloc.has_capacity(mid, 1)):
+                expected.add(mid)
+        assert candidates == expected

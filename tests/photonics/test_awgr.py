@@ -1,0 +1,150 @@
+"""AWGR routing function and cascaded construction (paper §III-D2)."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.awgr import (
+    AWGR,
+    CascadedAWGR,
+    awgr_output_port,
+    awgr_wavelength_for_pair,
+)
+
+
+class TestRoutingFunction:
+    def test_cyclic_permutation(self):
+        assert awgr_output_port(8, 0, 0) == 0
+        assert awgr_output_port(8, 3, 5) == 0
+        assert awgr_output_port(8, 7, 1) == 0
+
+    def test_wavelength_inverse(self):
+        n = 16
+        for src in range(n):
+            for dst in range(n):
+                w = awgr_wavelength_for_pair(n, src, dst)
+                assert awgr_output_port(n, src, w) == dst
+
+    def test_each_wavelength_is_permutation(self):
+        # Fixing a wavelength, the input->output map must be a bijection.
+        n = 11
+        for w in range(n):
+            outs = {awgr_output_port(n, p, w) for p in range(n)}
+            assert outs == set(range(n))
+
+    def test_exactly_one_wavelength_per_pair(self):
+        # The defining AWGR property (§IV-A).
+        n = 9
+        for src in range(n):
+            for dst in range(n):
+                matches = [w for w in range(n)
+                           if awgr_output_port(n, src, w) == dst]
+                assert len(matches) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            awgr_output_port(8, 8, 0)
+        with pytest.raises(ValueError):
+            awgr_output_port(8, 0, -1)
+        with pytest.raises(ValueError):
+            awgr_wavelength_for_pair(8, -1, 0)
+
+
+class TestAWGRDevice:
+    def test_routing_matrix_shape_and_diagonal(self):
+        dev = AWGR(n_ports=12)
+        mat = dev.routing_matrix()
+        assert mat.shape == (12, 12)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_routing_matrix_rows_are_permutations(self):
+        dev = AWGR(n_ports=7)
+        mat = dev.routing_matrix()
+        for row in mat:
+            assert sorted(row) == list(range(7))
+
+    def test_routing_matrix_agrees_with_function(self):
+        dev = AWGR(n_ports=10)
+        mat = dev.routing_matrix()
+        for s in range(10):
+            for d in range(10):
+                assert mat[s, d] == dev.wavelength_for(s, d)
+
+    def test_port_bandwidth(self):
+        dev = AWGR(n_ports=370, gbps_per_wavelength=25.0)
+        assert dev.port_bandwidth_gbps == 9250.0
+
+    def test_pair_bandwidth_is_one_wavelength(self):
+        dev = AWGR(n_ports=370)
+        assert dev.pair_bandwidth_gbps() == 25.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            AWGR(n_ports=1)
+
+
+class TestCascadedConstruction:
+    def test_paper_config_is_370_of_396(self):
+        dev = CascadedAWGR.paper_config()
+        assert dev.k == 3 and dev.m == 12 and dev.n == 11
+        assert dev.built_ports == 396
+        assert dev.ports == 370
+
+    def test_insertion_loss_sums_stages(self):
+        dev = CascadedAWGR.paper_config()
+        assert dev.insertion_loss_db == pytest.approx(15.0)
+
+    def test_wavelengths_per_port_equals_ports(self):
+        dev = CascadedAWGR.paper_config()
+        assert dev.wavelengths_per_port == 370
+
+    def test_as_awgr_preserves_routing_property(self):
+        dev = CascadedAWGR(k=2, m=3, n=2).as_awgr()
+        n = dev.n_ports
+        for src in range(n):
+            outs = {dev.output_port(src, w) for w in range(n)}
+            assert outs == set(range(n))
+
+    def test_usable_ports_bounds(self):
+        with pytest.raises(ValueError):
+            CascadedAWGR(k=1, m=2, n=2, usable_ports=5)
+        with pytest.raises(ValueError):
+            CascadedAWGR(k=1, m=2, n=2, usable_ports=0)
+
+    def test_front_rear_counts(self):
+        dev = CascadedAWGR.paper_config()
+        assert dev.front_awgr_count() == 11
+        assert dev.rear_awgr_count() == 12
+
+
+class TestInterconnectOptimization:
+    def test_minmax_pairing_beats_identity(self):
+        dev = CascadedAWGR.paper_config()
+        rng = np.random.default_rng(0)
+        front = rng.uniform(3.0, 7.0, size=32)
+        rear = rng.uniform(3.0, 7.0, size=32)
+        identity = np.arange(32)
+        optimal = dev.worst_case_loss_db(front, rear)
+        naive = dev.worst_case_loss_db(front, rear, perm=identity)
+        assert optimal <= naive
+
+    def test_optimal_is_minimum_over_random_perms(self):
+        dev = CascadedAWGR.paper_config()
+        rng = np.random.default_rng(1)
+        front = rng.uniform(2.0, 8.0, size=10)
+        rear = rng.uniform(2.0, 8.0, size=10)
+        optimal = dev.worst_case_loss_db(front, rear)
+        for _ in range(200):
+            perm = rng.permutation(10)
+            assert optimal <= dev.worst_case_loss_db(front, rear, perm) + 1e-9
+
+    def test_perm_is_permutation(self):
+        dev = CascadedAWGR.paper_config()
+        front = np.linspace(3, 6, 12)
+        rear = np.linspace(4, 5, 12)
+        perm = dev.optimize_interconnect(front, rear)
+        assert sorted(perm) == list(range(12))
+
+    def test_mismatched_shapes_rejected(self):
+        dev = CascadedAWGR.paper_config()
+        with pytest.raises(ValueError):
+            dev.optimize_interconnect(np.ones(3), np.ones(4))

@@ -1,0 +1,137 @@
+"""FEC/BER model (paper §III-A, §III-C3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.photonics.fec import (
+    CXL_LIGHTWEIGHT_FEC,
+    FECModel,
+    effective_ber_after_fec,
+    flit_error_rate,
+    retransmission_overhead,
+    simulate_flit_errors,
+)
+
+
+class TestFlitErrorRate:
+    def test_quadratic_suppression(self):
+        # Paper: "a flit BER of 1e-6 becomes 1e-12 as you need two
+        # error bursts per flit to fail" — up to the C(n,2) prefactor.
+        fer = flit_error_rate(1e-6, flit_bits=256)
+        prefactor = 256 * 255 / 2
+        assert fer == pytest.approx(prefactor * 1e-12, rel=0.01)
+
+    def test_zero_ber_gives_zero(self):
+        assert flit_error_rate(0.0) == 0.0
+
+    def test_monotone_in_ber(self):
+        rates = [flit_error_rate(p) for p in (1e-9, 1e-7, 1e-5, 1e-3)]
+        assert rates == sorted(rates)
+        assert all(r > 0 for r in rates[1:])
+
+    def test_more_correction_lowers_failure(self):
+        weak = flit_error_rate(1e-4, correctable_bursts=0)
+        strong = flit_error_rate(1e-4, correctable_bursts=1)
+        stronger = flit_error_rate(1e-4, correctable_bursts=2)
+        assert stronger < strong < weak
+
+    def test_tiny_ber_numerically_stable(self):
+        fer = flit_error_rate(1e-12, flit_bits=256)
+        assert 0 < fer < 1e-18
+
+    def test_invalid_ber_rejected(self):
+        with pytest.raises(ValueError):
+            flit_error_rate(1.5)
+        with pytest.raises(ValueError):
+            flit_error_rate(-0.1)
+
+    def test_matches_monte_carlo(self):
+        p = 5e-3
+        closed = flit_error_rate(p, flit_bits=256)
+        mc = simulate_flit_errors(p, flit_bits=256, n_flits=400_000,
+                                  rng=np.random.default_rng(7))
+        assert mc == pytest.approx(closed, rel=0.1)
+
+
+class TestResidualBER:
+    def test_memory_target_reachable(self):
+        # With raw BER 1e-6, FEC + CRC reaches the 1e-18 server target.
+        model = CXL_LIGHTWEIGHT_FEC
+        assert model.meets_memory_ber(1e-6)
+
+    def test_target_unreachable_for_terrible_link(self):
+        model = CXL_LIGHTWEIGHT_FEC
+        assert not model.meets_memory_ber(1e-2)
+
+    def test_residual_scales_with_crc_escape(self):
+        loose = effective_ber_after_fec(1e-6, crc_escape_rate=1e-6)
+        tight = effective_ber_after_fec(1e-6, crc_escape_rate=1e-12)
+        assert tight < loose
+
+    def test_invalid_crc_rate_rejected(self):
+        with pytest.raises(ValueError):
+            effective_ber_after_fec(1e-6, crc_escape_rate=2.0)
+
+
+class TestRetransmission:
+    def test_below_point_one_percent(self):
+        # §III-C3: "less than a 0.1% bandwidth loss" at BERs of interest.
+        assert retransmission_overhead(1e-6) < 1e-3
+
+    def test_grows_with_ber(self):
+        assert (retransmission_overhead(1e-3)
+                > retransmission_overhead(1e-6))
+
+
+class TestFECModel:
+    def test_latency_at_400gbps(self):
+        # §III-C3: at >= 400 Gbps, FEC adds 2-3 ns plus serialization.
+        model = FECModel()
+        total = model.total_latency_ns(400.0)
+        assert 3.0 < total < 6.0
+
+    def test_latency_at_200gbps_larger(self):
+        model = FECModel()
+        assert model.total_latency_ns(200.0) > model.total_latency_ns(400.0)
+
+    def test_effective_bandwidth_near_raw(self):
+        model = FECModel()
+        eff = model.effective_bandwidth_gbps(1000.0, raw_ber=1e-6)
+        assert 0.998 * 1000.0 < eff < 1000.0
+
+    def test_bad_link_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FECModel().serialization_ns(0.0)
+
+    def test_invalid_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            FECModel(bandwidth_overhead=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            FECModel(fec_latency_ns=-1.0)
+
+    def test_default_is_cxl_scheme(self):
+        assert CXL_LIGHTWEIGHT_FEC.name == "cxl-lightweight"
+        assert CXL_LIGHTWEIGHT_FEC.flit_bits == 256
+
+
+class TestMonteCarlo:
+    def test_seeded_reproducibility(self):
+        a = simulate_flit_errors(1e-3, rng=np.random.default_rng(3))
+        b = simulate_flit_errors(1e-3, rng=np.random.default_rng(3))
+        assert a == b
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            simulate_flit_errors(1e-3, n_flits=0)
+
+    def test_zero_ber_no_failures(self):
+        assert simulate_flit_errors(0.0) == 0.0
+
+    def test_math_isclose_sanity(self):
+        # guard: closed form stays a probability
+        assert 0 <= flit_error_rate(0.5) <= 1
+        assert math.isfinite(flit_error_rate(0.999))

@@ -1,0 +1,103 @@
+"""Optical link-budget analysis."""
+
+import math
+
+import pytest
+
+from repro.photonics.linkbudget import (
+    LinkBudget,
+    cascade_depth_limit,
+    crosstalk_power_penalty_db,
+    fabric_feasibility,
+    switch_budget_report,
+)
+from repro.photonics.switches import switch_by_name
+
+
+class TestCrosstalkPenalty:
+    def test_negligible_below_minus50(self):
+        assert crosstalk_power_penalty_db(-70.0) < 0.1
+
+    def test_grows_with_crosstalk(self):
+        assert (crosstalk_power_penalty_db(-20.0)
+                > crosstalk_power_penalty_db(-35.0))
+
+    def test_unreported_charged_conservative(self):
+        assert crosstalk_power_penalty_db(None) == 0.5
+
+    def test_catastrophic_crosstalk_infinite(self):
+        assert math.isinf(crosstalk_power_penalty_db(-5.0))
+
+    def test_positive_rejected(self):
+        with pytest.raises(ValueError):
+            crosstalk_power_penalty_db(3.0)
+
+
+class TestLinkBudget:
+    def test_path_loss_composition(self):
+        budget = LinkBudget(coupling_loss_db=1.5, connector_loss_db=0.25,
+                            fiber_db_per_km=0.4)
+        loss = budget.path_loss_db(switch_insertion_db=10.0, fiber_m=4.0,
+                                   crosstalk_db=-70.0)
+        expected = 2 * 1.5 + 2 * 0.25 + 0.4 * 0.004 + 10.0
+        assert loss == pytest.approx(expected, abs=0.1)
+
+    def test_margin_and_closes_consistent(self):
+        budget = LinkBudget()
+        il = budget.max_insertion_loss_db()
+        assert budget.closes(il - 0.1)
+        assert not budget.closes(il + 0.1)
+
+    def test_fiber_length_nearly_free_intra_rack(self):
+        budget = LinkBudget()
+        short = budget.margin_db(10.0, fiber_m=1.0)
+        long = budget.margin_db(10.0, fiber_m=4.0)
+        assert abs(short - long) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkBudget(coupling_loss_db=-1.0)
+        with pytest.raises(ValueError):
+            LinkBudget().path_loss_db(-1.0)
+
+
+class TestFabricFeasibility:
+    def test_all_catalog_switches_close(self):
+        # The paper's implicit claim: every Table II family is usable
+        # intra-rack with a 10 dBm launch and -17 dBm sensitivity.
+        rows = fabric_feasibility()
+        assert len(rows) >= 5
+        for row in rows:
+            assert row["closes"], row["switch"]
+
+    def test_cascaded_awgr_margin_smallest_of_big_three(self):
+        rows = {r["switch"]: r for r in fabric_feasibility()}
+        # 15 dB IL makes the cascaded AWGR the tightest large switch.
+        assert rows["cascaded-awgr-370"]["margin_db"] < \
+            rows["mems-240"]["margin_db"]
+
+    def test_weak_laser_fails(self):
+        rows = fabric_feasibility(LinkBudget(laser_dbm_per_wavelength=0.0))
+        assert not all(r["closes"] for r in rows)
+
+
+class TestCascadeDepth:
+    def test_at_least_one_stage(self):
+        assert cascade_depth_limit(LinkBudget(), stage_loss_db=15.0) >= 1
+
+    def test_shallower_with_lossier_stages(self):
+        budget = LinkBudget()
+        assert (cascade_depth_limit(budget, 5.0)
+                >= cascade_depth_limit(budget, 15.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cascade_depth_limit(LinkBudget(), 0.0)
+
+
+class TestSwitchReport:
+    def test_report_fields(self):
+        report = switch_budget_report(switch_by_name("cascaded-awgr-370"))
+        assert report["closes"]
+        assert report["margin_db"] > 0
+        assert report["max_tolerable_il_db"] > 15.0

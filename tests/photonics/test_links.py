@@ -1,0 +1,110 @@
+"""Link technology catalog (paper Table I)."""
+
+import math
+
+import pytest
+
+from repro.photonics.links import (
+    LINK_CATALOG,
+    LinkTechnology,
+    link_by_name,
+    links_for_escape_bandwidth,
+    table1_rows,
+)
+
+
+class TestCatalog:
+    def test_has_five_technologies(self):
+        assert len(LINK_CATALOG) == 5
+
+    def test_names_unique(self):
+        names = [t.name for t in LINK_CATALOG]
+        assert len(set(names)) == len(names)
+
+    def test_channel_structure_consistent(self):
+        for tech in LINK_CATALOG:
+            assert tech.gbps_per_channel * tech.channels == tech.gbps
+
+    def test_lookup(self):
+        assert link_by_name("ayar-teraphy").gbps == 768.0
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            link_by_name("nonexistent")
+
+    def test_dwdm_entries_co_packaged(self):
+        # §III-B: "These higher performance link technologies must be
+        # co-packaged to achieve their bandwidth density."
+        for name in ("ayar-teraphy", "dwdm-1tbps", "dwdm-2tbps"):
+            assert link_by_name(name).co_packaged
+
+
+class TestTable1LinkCounts:
+    """The '#Links (2 TB/s escape)' column: 160/40/21/16/8."""
+
+    EXPECTED = {"100G-ethernet": 160, "400G-ethernet": 40,
+                "ayar-teraphy": 21, "dwdm-1tbps": 16, "dwdm-2tbps": 8}
+
+    def test_link_counts_match_paper(self):
+        assert links_for_escape_bandwidth(2.0) == self.EXPECTED
+
+    def test_larger_escape_scales_up(self):
+        counts = links_for_escape_bandwidth(4.0)
+        for name, n in self.EXPECTED.items():
+            assert counts[name] >= n
+
+
+class TestTable1Power:
+    """The 'Agg. Ws' column: 480 / (197) / 14.4 / 7.2 / 4.8."""
+
+    def test_100g_power(self):
+        assert math.isclose(
+            link_by_name("100G-ethernet").aggregate_power_w(), 480.0)
+
+    def test_teraphy_power(self):
+        assert math.isclose(
+            link_by_name("ayar-teraphy").aggregate_power_w(), 14.4)
+
+    def test_1tbps_power(self):
+        assert math.isclose(link_by_name("dwdm-1tbps").aggregate_power_w(),
+                            7.2)
+
+    def test_2tbps_power(self):
+        assert math.isclose(link_by_name("dwdm-2tbps").aggregate_power_w(),
+                            4.8)
+
+    def test_single_link_power(self):
+        # 2048 Gbps at 0.3 pJ/bit = 0.614 W.
+        assert math.isclose(link_by_name("dwdm-2tbps").power_w(),
+                            0.6144, rel_tol=1e-6)
+
+
+class TestTable1Rows:
+    def test_rows_complete(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        for row in rows:
+            assert {"name", "gbps", "pj_per_bit", "links",
+                    "aggregate_w"} <= set(row)
+
+    def test_rows_ordered_by_catalog(self):
+        rows = table1_rows()
+        assert [r["name"] for r in rows] == [t.name for t in LINK_CATALOG]
+
+
+class TestValidation:
+    def test_inconsistent_channels_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTechnology("bad", 100.0, 1.0, 30.0, 4)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTechnology("bad", 100.0, -1.0, 25.0, 4)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTechnology("bad", 0.0, 1.0, 0.0, 4)
+
+    def test_serialization_latency(self):
+        tech = link_by_name("dwdm-2tbps")
+        assert math.isclose(tech.serialization_ns(2048.0), 1.0)

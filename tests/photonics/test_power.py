@@ -1,0 +1,76 @@
+"""Photonic power models (paper §VI-C)."""
+
+import math
+
+import pytest
+
+from repro.photonics.power import (
+    CombLaserModel,
+    TransceiverPower,
+    photonic_rack_power_w,
+)
+
+
+class TestTransceiverPower:
+    def test_half_pj_per_bit(self):
+        tx = TransceiverPower(pj_per_bit=0.5)
+        # One MCM: 2048 wavelengths x 25 Gbps = 51.2 Tbps -> 25.6 W.
+        assert math.isclose(tx.power_w(51_200.0), 25.6)
+
+    def test_always_on_ignores_utilization(self):
+        tx = TransceiverPower(always_on=True)
+        assert tx.power_w(1000.0, utilization=0.1) == tx.power_w(1000.0)
+
+    def test_utilization_scales_when_not_always_on(self):
+        tx = TransceiverPower(always_on=False)
+        assert math.isclose(tx.power_w(1000.0, utilization=0.5),
+                            0.5 * tx.power_w(1000.0, utilization=1.0))
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            TransceiverPower().power_w(1000.0, utilization=1.5)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            TransceiverPower(pj_per_bit=-0.1)
+
+
+class TestCombLaser:
+    def test_electrical_power(self):
+        laser = CombLaserModel(lines=64, mw_per_line_optical=1.0,
+                               wall_plug_efficiency=0.41)
+        # 64 mW optical / 0.41 = ~156 mW electrical.
+        assert math.isclose(laser.electrical_power_w(), 0.064 / 0.41)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            CombLaserModel(wall_plug_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CombLaserModel(wall_plug_efficiency=1.1)
+
+    def test_more_lines_more_power(self):
+        small = CombLaserModel(lines=32).electrical_power_w()
+        large = CombLaserModel(lines=128).electrical_power_w()
+        assert large > small
+
+
+class TestRackPower:
+    def test_paper_magnitude(self):
+        # §VI-C: "the total additional power for all photonic
+        # components is approximately 11 kW" (we compute ~9.96 kW).
+        total = photonic_rack_power_w()
+        assert 9_000 < total < 12_000
+
+    def test_transceiver_share_dominates(self):
+        total = photonic_rack_power_w(switch_power_w=0.0)
+        assert total > 8_000
+
+    def test_scales_with_mcms(self):
+        assert (photonic_rack_power_w(n_mcms=700)
+                > photonic_rack_power_w(n_mcms=350))
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            photonic_rack_power_w(n_mcms=0)
+        with pytest.raises(ValueError):
+            photonic_rack_power_w(switch_power_w=-1.0)

@@ -1,0 +1,122 @@
+"""Optical switch catalog (paper Tables II & IV)."""
+
+import pytest
+
+from repro.photonics.switches import (
+    SWITCH_CATALOG,
+    SwitchKind,
+    SwitchTechnology,
+    project_wave_selective,
+    study_switch_configs,
+    switch_by_name,
+    table2_rows,
+    table4_rows,
+)
+
+
+class TestCatalog:
+    def test_contains_table2_families(self):
+        kinds = {t.kind for t in SWITCH_CATALOG}
+        assert kinds == {SwitchKind.SPATIAL, SwitchKind.WAVE_SELECTIVE,
+                         SwitchKind.AWGR}
+
+    def test_mzi_radix(self):
+        assert switch_by_name("mzi-32").radix == 32
+
+    def test_mems_radix_and_crosstalk(self):
+        mems = switch_by_name("mems-240")
+        assert mems.radix == 240
+        assert mems.crosstalk_db == -70.0
+
+    def test_cascaded_awgr_row(self):
+        awgr = switch_by_name("cascaded-awgr-370")
+        assert awgr.radix == 370
+        assert awgr.wavelengths_per_port == 370
+        assert awgr.gbps_per_wavelength == 25.0
+        assert awgr.insertion_loss_db == 15.0
+        assert not awgr.reconfigurable
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            switch_by_name("quantum-switch")
+
+    def test_awgr_cannot_be_reconfigurable(self):
+        with pytest.raises(ValueError):
+            SwitchTechnology("bad", SwitchKind.AWGR, 8, 8, 25.0, 5.0,
+                             None, 0.0, reconfigurable=True)
+
+
+class TestDerived:
+    def test_port_bandwidth(self):
+        awgr = switch_by_name("cascaded-awgr-370")
+        assert awgr.port_bandwidth_gbps == 370 * 25.0
+
+    def test_bisection_bandwidth(self):
+        awgr = switch_by_name("cascaded-awgr-370")
+        assert awgr.bisection_bandwidth_gbps == 370 * 370 * 25.0
+
+    def test_conservative_rate_clamp(self):
+        mems = switch_by_name("mems-240")
+        clamped = mems.with_conservative_rate(25.0)
+        assert clamped.gbps_per_wavelength == 25.0
+
+    def test_conservative_rate_cannot_exceed(self):
+        awgr = switch_by_name("cascaded-awgr-370")
+        with pytest.raises(ValueError):
+            awgr.with_conservative_rate(100.0)
+
+
+class TestWaveSelectiveProjection:
+    def test_256_port_projection(self):
+        wss = project_wave_selective(256)
+        assert wss.radix == 256
+        assert wss.wavelengths_per_port == 256
+        # One doubling from the 128x128 block adds loss.
+        base = switch_by_name("microring-128")
+        assert wss.insertion_loss_db > base.insertion_loss_db
+
+    def test_projection_preserves_base(self):
+        wss = project_wave_selective(128)
+        base = switch_by_name("microring-128")
+        assert wss.insertion_loss_db == base.insertion_loss_db
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            project_wave_selective(300)
+
+    def test_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            project_wave_selective(64)
+
+    def test_crosstalk_degrades(self):
+        wss = project_wave_selective(512)
+        base = switch_by_name("microring-128")
+        assert wss.crosstalk_db > base.crosstalk_db  # less negative
+
+
+class TestTable4:
+    def test_study_configs_radices(self):
+        configs = study_switch_configs()
+        assert configs["awgr"].radix == 370
+        assert configs["spatial"].radix == 240
+        assert configs["wave-selective"].radix == 256
+
+    def test_all_25gbps(self):
+        # Table IV: "Gbps per wavelength | All switches | 25".
+        for tech in study_switch_configs().values():
+            assert tech.gbps_per_wavelength == 25.0
+
+    def test_wavelengths_per_port_match_radix(self):
+        for tech in study_switch_configs().values():
+            assert tech.wavelengths_per_port == tech.radix
+
+    def test_table4_rows(self):
+        rows = table4_rows()
+        assert len(rows) == 3
+        assert {r["switch_type"] for r in rows} == {
+            "awgr", "spatial", "wave-selective"}
+
+
+class TestTable2Rows:
+    def test_rows_cover_catalog(self):
+        assert len(table2_rows()) == len(SWITCH_CATALOG)

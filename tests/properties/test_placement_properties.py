@@ -1,0 +1,86 @@
+"""Property-based tests for the placement engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import JobRequest
+from repro.core.placement import MCMDirectory, PlacementEngine
+
+job_strategy = st.builds(
+    lambda i, cpus, gpus, mem, nic: JobRequest(
+        f"job-{i}", cpus=cpus, gpus=gpus,
+        memory_gbyte=float(mem), nic_gbps=float(nic)),
+    i=st.integers(0, 10_000),
+    cpus=st.integers(1, 8),      # >=1 keeps requests non-empty
+    gpus=st.integers(0, 16),
+    mem=st.integers(0, 2048),
+    nic=st.integers(0, 800),
+)
+
+
+def _distinct_ids(jobs):
+    seen = set()
+    out = []
+    for job in jobs:
+        if job.job_id not in seen and (
+                job.cpus or job.gpus or job.memory_gbyte
+                or job.nic_gbps):
+            seen.add(job.job_id)
+            out.append(job)
+    return out
+
+
+class TestPlacementConservation:
+    @given(jobs=st.lists(job_strategy, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_place_unplace_restores_inventory(self, jobs):
+        engine = PlacementEngine()
+        original = dict(engine.directory.free)
+        placed = []
+        for job in _distinct_ids(jobs):
+            try:
+                engine.place(job)
+                placed.append(job.job_id)
+            except RuntimeError:
+                pass  # exhausted; rollback is part of the contract
+        for job_id in placed:
+            engine.unplace(job_id)
+        assert engine.directory.free == original
+
+    @given(jobs=st.lists(job_strategy, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_free_never_negative_or_overfull(self, jobs):
+        engine = PlacementEngine()
+        for job in _distinct_ids(jobs):
+            try:
+                engine.place(job)
+            except RuntimeError:
+                pass
+            for mcm, free in engine.directory.free.items():
+                assert 0 <= free <= engine.directory.slots[mcm]
+
+    @given(jobs=st.lists(job_strategy, min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_placed_chips_match_requests(self, jobs):
+        engine = PlacementEngine()
+        for job in _distinct_ids(jobs):
+            try:
+                placement = engine.place(job)
+            except RuntimeError:
+                continue
+            assert sum(placement.cpus.values()) == job.cpus
+            assert sum(placement.gpus.values()) == job.gpus
+            assert sum(placement.hbm.values()) == job.gpus
+            if job.memory_gbyte:
+                modules = sum(placement.ddr4.values())
+                assert modules * 32.0 >= job.memory_gbyte
+
+
+class TestDirectoryProperties:
+    @given(count=st.integers(1, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_take_exactly_count(self, count):
+        from repro.rack.chips import ChipType
+        directory = MCMDirectory.for_default_rack()
+        taken = directory.take_chips(ChipType.CPU, min(count, 140))
+        assert sum(taken.values()) == min(count, 140)

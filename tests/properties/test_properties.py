@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.caches import CacheHierarchy, simulate_hierarchy
+from repro.cpu.core_inorder import InOrderCore
+from repro.cpu.core_ooo import OutOfOrderCore
+from repro.cpu.memory import MemoryModel
+from repro.cpu.trace import TraceSpec, generate_trace
+from repro.network.wavelength import WavelengthAllocator
+from repro.photonics.awgr import awgr_output_port, awgr_wavelength_for_pair
+from repro.photonics.fec import flit_error_rate
+from repro.units import gbps_to_gbyte_s, gbyte_s_to_gbps
+
+
+class TestAWGRProperties:
+    @given(n=st.integers(2, 400), src=st.integers(0, 399),
+           dst=st.integers(0, 399))
+    def test_wavelength_roundtrip(self, n, src, dst):
+        src, dst = src % n, dst % n
+        w = awgr_wavelength_for_pair(n, src, dst)
+        assert awgr_output_port(n, src, w) == dst
+
+    @given(n=st.integers(2, 64), w=st.integers(0, 63))
+    def test_fixed_wavelength_is_bijection(self, n, w):
+        w = w % n
+        outputs = [awgr_output_port(n, p, w) for p in range(n)]
+        assert sorted(outputs) == list(range(n))
+
+    @given(n=st.integers(2, 64), src=st.integers(0, 63))
+    def test_distinct_destinations_distinct_wavelengths(self, n, src):
+        src = src % n
+        wavelengths = [awgr_wavelength_for_pair(n, src, d)
+                       for d in range(n)]
+        assert len(set(wavelengths)) == n
+
+
+class TestFECProperties:
+    @given(p=st.floats(1e-12, 0.2), bits=st.integers(64, 1024))
+    def test_failure_probability_is_probability(self, p, bits):
+        fer = flit_error_rate(p, flit_bits=bits)
+        assert 0.0 <= fer <= 1.0
+
+    @given(p=st.floats(1e-9, 1e-3))
+    def test_correction_strictly_helps(self, p):
+        assert (flit_error_rate(p, correctable_bursts=1)
+                < flit_error_rate(p, correctable_bursts=0))
+
+    @given(p1=st.floats(1e-10, 1e-4), factor=st.floats(1.5, 100.0))
+    def test_monotone(self, p1, factor):
+        p2 = min(p1 * factor, 0.5)
+        assert flit_error_rate(p1) <= flit_error_rate(p2)
+
+
+class TestUnitProperties:
+    @given(x=st.floats(1e-6, 1e9))
+    def test_bandwidth_roundtrip(self, x):
+        assert np.isclose(gbyte_s_to_gbps(gbps_to_gbyte_s(x)), x)
+
+
+class TestAllocatorConservation:
+    @given(ops=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5),
+                  st.integers(1, 4)),
+        min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_allocate_release_conserves(self, ops):
+        alloc = WavelengthAllocator(n_nodes=6, planes=3,
+                                    flows_per_wavelength=4)
+        held = []
+        for (src, dst, slots) in ops:
+            if src == dst:
+                continue
+            if alloc.has_capacity(src, dst, slots):
+                planes = alloc.allocate(src, dst, slots)
+                held.append((src, dst, planes))
+        for (src, dst, planes) in held:
+            alloc.release(src, dst, planes)
+        assert alloc.utilization() == 0.0
+
+    @given(slots=st.integers(1, 12))
+    def test_free_plus_used_is_capacity(self, slots):
+        alloc = WavelengthAllocator(n_nodes=4, planes=3,
+                                    flows_per_wavelength=4)
+        total = 12
+        take = min(slots, total)
+        alloc.allocate(0, 1, take)
+        assert alloc.used_slots(0, 1) + alloc.free_slots(0, 1) == total
+
+
+class TestTimingMonotonicity:
+    @given(extra=st.floats(0.0, 200.0),
+           dram_fraction=st.floats(0.01, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_inorder_slowdown_nonnegative_and_monotone(self, extra,
+                                                       dram_fraction):
+        spec = TraceSpec(name="prop.bench.x", instructions=20_000,
+                         mem_ratio=0.3,
+                         l1_fraction=0.9 - dram_fraction,
+                         l2_fraction=0.05,
+                         llc_fraction=0.05)
+        trace = generate_trace(spec, seed=0)
+        stats = simulate_hierarchy(trace.stack_distances,
+                                   spec.instructions)
+        core = InOrderCore()
+        baseline = MemoryModel()
+        s = core.slowdown(stats, baseline, extra)
+        assert s >= 0.0
+        assert core.slowdown(stats, baseline, extra + 10.0) >= s
+
+    @given(mlp=st.floats(1.0, 16.0))
+    @settings(max_examples=30, deadline=None)
+    def test_ooo_mlp_never_hurts(self, mlp):
+        spec = TraceSpec(name="prop.bench.y", instructions=20_000,
+                         mem_ratio=0.3, l1_fraction=0.6,
+                         l2_fraction=0.1, llc_fraction=0.1)
+        trace = generate_trace(spec, seed=1)
+        stats = simulate_hierarchy(trace.stack_distances,
+                                   spec.instructions)
+        baseline = MemoryModel()
+        weak = OutOfOrderCore(mlp=1.0).execute(stats, baseline).cycles
+        strong = OutOfOrderCore(mlp=mlp).execute(stats, baseline).cycles
+        assert strong <= weak
+
+
+class TestTraceProperties:
+    @given(l1=st.floats(0.0, 1.0), l2=st.floats(0.0, 1.0),
+           llc=st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_fractions_recovered(self, l1, l2, llc):
+        total = l1 + l2 + llc
+        if total > 0:
+            l1, l2, llc = (0.9 * v / max(total, 1.0) for v in (l1, l2, llc))
+        spec = TraceSpec(name="prop.bench.z", instructions=50_000,
+                         mem_ratio=0.4, l1_fraction=l1,
+                         l2_fraction=l2, llc_fraction=llc)
+        trace = generate_trace(spec, seed=2)
+        stats = simulate_hierarchy(trace.stack_distances,
+                                   spec.instructions,
+                                   CacheHierarchy())
+        n = stats.mem_accesses
+        assert abs(stats.l1_hits / n - l1) < 0.03
+        assert abs(stats.dram_accesses / n - spec.dram_fraction) < 0.03

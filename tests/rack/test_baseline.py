@@ -1,0 +1,56 @@
+"""Baseline rack accounting (paper §V, §VI-E)."""
+
+import pytest
+
+from repro.rack.baseline import BaselineRack
+from repro.rack.chips import ChipType
+
+
+class TestChipCounts:
+    def test_128_nodes(self):
+        assert BaselineRack().n_nodes == 128
+
+    def test_rack_chip_counts(self):
+        counts = BaselineRack().chip_counts()
+        assert counts[ChipType.CPU] == 128
+        assert counts[ChipType.GPU] == 512
+        assert counts[ChipType.NIC] == 512
+        assert counts[ChipType.HBM] == 512
+        assert counts[ChipType.DDR4] == 1024
+
+    def test_total_chips(self):
+        assert BaselineRack().total_chips() == 128 * 21
+
+    def test_bad_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineRack(n_nodes=0)
+
+
+class TestModuleAccounting:
+    def test_paper_1920_modules(self):
+        # §VI-E: "1920 in the equal-performance baseline system" =
+        # 128 x (1 CPU + 4 GPU + 8 DDR4 + 2 NICs counted).
+        assert BaselineRack().total_modules() == 1920
+
+    def test_module_accounting_with_four_nics(self):
+        assert BaselineRack().total_modules(
+            nics_counted_per_node=4) == 1920 + 2 * 128
+
+    def test_hbm_optionally_counted(self):
+        with_hbm = BaselineRack().total_modules(count_hbm=True)
+        assert with_hbm == 1920 + 512
+
+
+class TestPowerAndCapacity:
+    def test_compute_power_near_200kw(self):
+        # 128 x (250 + 1200 + 96) W = ~198 kW.
+        power = BaselineRack().compute_power_w()
+        assert 190_000 < power < 210_000
+
+    def test_memory_capacity(self):
+        assert BaselineRack().memory_capacity_gbyte() == 128 * 256.0
+
+    def test_power_scales_with_nodes(self):
+        small = BaselineRack(n_nodes=64)
+        assert small.compute_power_w() == pytest.approx(
+            BaselineRack().compute_power_w() / 2)

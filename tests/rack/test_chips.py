@@ -1,0 +1,71 @@
+"""Chip catalog (paper §V)."""
+
+import math
+
+import pytest
+
+from repro.rack.chips import (
+    CHIP_CATALOG,
+    ChipSpec,
+    ChipType,
+    chip_by_type,
+)
+
+
+class TestEscapeBandwidths:
+    def test_cpu_escape(self):
+        # 204.8 memory + 126 PCIe + 100 NIC = 430.8 GB/s.
+        assert math.isclose(chip_by_type(ChipType.CPU).escape_gbyte_s, 430.8)
+
+    def test_gpu_escape(self):
+        # 1555.2 HBM + 300 NVLink + 31.5 PCIe = 1886.7 GB/s.
+        assert math.isclose(chip_by_type(ChipType.GPU).escape_gbyte_s, 1886.7)
+
+    def test_nic_escape_is_pcie(self):
+        assert math.isclose(chip_by_type(ChipType.NIC).escape_gbyte_s, 31.5)
+
+    def test_hbm_escape(self):
+        assert math.isclose(chip_by_type(ChipType.HBM).escape_gbyte_s, 1555.2)
+
+    def test_ddr4_escape(self):
+        # One DDR4-3200 module: 25.6 GB/s.
+        assert math.isclose(chip_by_type(ChipType.DDR4).escape_gbyte_s, 25.6)
+
+    def test_escape_gbps_conversion(self):
+        spec = chip_by_type(ChipType.DDR4)
+        assert spec.escape_gbps == spec.escape_gbyte_s * 8
+
+
+class TestCatalogIntegrity:
+    def test_all_types_present(self):
+        assert set(CHIP_CATALOG) == set(ChipType)
+
+    def test_powers_match_paper(self):
+        assert chip_by_type(ChipType.CPU).power_w == 250.0
+        assert chip_by_type(ChipType.GPU).power_w == 300.0
+
+    def test_ddr4_power_apportioned(self):
+        # 192 W per 512 GB node => 12 W per 32 GB module.
+        assert math.isclose(chip_by_type(ChipType.DDR4).power_w, 12.0)
+
+    def test_memory_capacities(self):
+        assert chip_by_type(ChipType.DDR4).capacity_gbyte == 32.0
+        assert chip_by_type(ChipType.HBM).capacity_gbyte == 40.0
+
+    def test_ddr4_has_packaging_limit(self):
+        assert chip_by_type(ChipType.DDR4).mcm_chip_limit == 27
+
+
+class TestValidation:
+    def test_zero_escape_rejected(self):
+        with pytest.raises(ValueError):
+            ChipSpec(ChipType.CPU, escape_gbyte_s=0.0, power_w=1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            ChipSpec(ChipType.CPU, escape_gbyte_s=1.0, power_w=-1.0)
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ChipSpec(ChipType.DDR4, escape_gbyte_s=1.0, power_w=1.0,
+                     mcm_chip_limit=0)

@@ -1,0 +1,108 @@
+"""Fabric plans (paper §V-B, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.rack.design import (
+    DisaggregatedRack,
+    plan_awgr_fabric,
+    plan_wss_fabric,
+)
+
+
+class TestAWGRPlan:
+    def test_six_planes(self):
+        plan = plan_awgr_fabric()
+        assert plan.full_planes == 5
+        assert plan.extra_planes == 1
+        assert plan.planes == 6
+
+    def test_350_mcms_default(self):
+        assert plan_awgr_fabric().n_mcms == 350
+
+    def test_at_least_five_direct_wavelengths(self):
+        # Fig. 5: "at least five wavelengths between any MCM pair".
+        plan = plan_awgr_fabric()
+        assert plan.min_direct_wavelengths() >= 5
+
+    def test_direct_bandwidth_125gbps(self):
+        plan = plan_awgr_fabric()
+        assert plan.guaranteed_pair_gbps() == 125.0
+        assert plan.direct_bandwidth_gbps(0, 1) >= 125.0
+
+    def test_some_pairs_get_sixth_wavelength(self):
+        plan = plan_awgr_fabric()
+        counts = {plan.direct_wavelengths(0, d) for d in range(1, 50)}
+        assert 6 in counts  # extra plane reaches a subset
+
+    def test_self_pair_zero(self):
+        assert plan_awgr_fabric().direct_wavelengths(3, 3) == 0
+
+    def test_out_of_range_rejected(self):
+        plan = plan_awgr_fabric()
+        with pytest.raises(ValueError):
+            plan.direct_wavelengths(0, 400)
+
+    def test_too_many_mcms_rejected(self):
+        with pytest.raises(ValueError):
+            plan_awgr_fabric(n_mcms=400)
+
+    def test_extra_plane_wavelength_budget(self):
+        plan = plan_awgr_fabric()
+        # 2 spare fibers x 64 + 14 leftover per group = 142 per the
+        # paper's accounting; our grouping yields the same order.
+        assert 64 <= plan.wavelengths_on_extra <= 370
+
+
+class TestWSSPlan:
+    def test_eleven_switches_256_ports(self):
+        plan = plan_wss_fabric()
+        assert plan.n_switches == 11
+        assert plan.radix == 256
+
+    def test_at_least_three_direct_paths(self):
+        # §V-B: "each MCM has at least three direct paths to any other".
+        plan = plan_wss_fabric()
+        assert plan.min_direct_paths() >= 3
+
+    def test_port_budget_respected(self):
+        # 2048 wavelengths / 256 per port = 8 ports per MCM max.
+        plan = plan_wss_fabric()
+        assert plan.ports_per_mcm().max() <= 8
+
+    def test_most_mcms_fully_connected(self):
+        plan = plan_wss_fabric()
+        ports = plan.ports_per_mcm()
+        assert np.mean(ports == 8) > 0.9
+
+    def test_some_ports_left_free_for_growth(self):
+        # "a small number of optical switch ports are left unconnected".
+        plan = plan_wss_fabric()
+        free = int(np.sum(plan.attachment < 0))
+        assert free == 11 * 256 - int(plan.ports_per_mcm().sum())
+        assert free >= 0
+
+    def test_direct_bandwidth(self):
+        plan = plan_wss_fabric()
+        paths = plan.direct_paths(0, 1)
+        assert plan.direct_bandwidth_gbps(0, 1) == paths * 256 * 25.0
+
+    def test_self_pair_zero(self):
+        assert plan_wss_fabric().direct_paths(5, 5) == 0
+
+
+class TestDisaggregatedRack:
+    def test_awgr_rack(self):
+        rack = DisaggregatedRack(fabric="awgr")
+        assert rack.n_mcms() == 350
+        plan = rack.plan()
+        assert plan.planes == 6
+
+    def test_wss_rack(self):
+        rack = DisaggregatedRack(fabric="wss")
+        plan = rack.plan()
+        assert plan.n_switches == 11
+
+    def test_unknown_fabric_rejected(self):
+        with pytest.raises(ValueError):
+            DisaggregatedRack(fabric="copper")

@@ -1,0 +1,89 @@
+"""MCM packing — regenerates paper Table III."""
+
+import math
+
+import pytest
+
+from repro.rack.baseline import BaselineRack
+from repro.rack.chips import CHIP_CATALOG, ChipType
+from repro.rack.mcm import (
+    MCMConfig,
+    chips_per_mcm,
+    pack_rack,
+    table3_rows,
+    total_mcms,
+)
+
+
+class TestMCMConfig:
+    def test_default_escape(self):
+        mcm = MCMConfig()
+        assert mcm.wavelengths == 2048
+        assert mcm.escape_gbps == 51_200.0
+        assert mcm.escape_gbyte_s == 6_400.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MCMConfig(fibers=0)
+        with pytest.raises(ValueError):
+            MCMConfig(gbps_per_wavelength=0.0)
+
+
+class TestTable3:
+    """The headline Table III: chips/MCM and MCMs/rack."""
+
+    EXPECTED = {
+        ChipType.CPU: (14, 10),
+        ChipType.GPU: (3, 171),
+        ChipType.NIC: (203, 3),
+        ChipType.HBM: (4, 128),
+        ChipType.DDR4: (27, 38),
+    }
+
+    def test_chips_per_mcm_and_mcm_counts(self):
+        packings = pack_rack()
+        for chip_type, (per, mcms) in self.EXPECTED.items():
+            assert packings[chip_type].chips_per_mcm == per, chip_type
+            assert packings[chip_type].mcms == mcms, chip_type
+
+    def test_total_350_mcms(self):
+        assert total_mcms(pack_rack()) == 350
+
+    def test_provisioning_covers_rack(self):
+        for packing in pack_rack().values():
+            assert packing.provisioned_chips >= packing.rack_chips
+
+    def test_escape_bandwidth_preserved(self):
+        # "our photonic architecture does not restrict chip escape
+        # bandwidth": chips_per_mcm * chip_escape <= MCM escape.
+        mcm = MCMConfig()
+        for chip_type, packing in pack_rack().items():
+            spec = CHIP_CATALOG[chip_type]
+            assert (packing.chips_per_mcm * spec.escape_gbyte_s
+                    <= mcm.escape_gbyte_s + 1e-9)
+
+    def test_table3_rows_render(self):
+        rows = table3_rows()
+        assert rows[-1]["chip_type"] == "total"
+        assert rows[-1]["mcms_per_rack"] == 350
+
+
+class TestScaling:
+    def test_bigger_mcm_fewer_mcms(self):
+        big = MCMConfig(fibers=64)
+        assert total_mcms(pack_rack(mcm=big)) < 350
+
+    def test_smaller_rack_fewer_mcms(self):
+        small = BaselineRack(n_nodes=64)
+        assert total_mcms(pack_rack(rack=small)) < 350
+
+    def test_chip_too_big_for_mcm_rejected(self):
+        tiny = MCMConfig(fibers=1, wavelengths_per_fiber=8)
+        with pytest.raises(ValueError):
+            chips_per_mcm(CHIP_CATALOG[ChipType.GPU], tiny)
+
+    def test_floor_semantics(self):
+        mcm = MCMConfig()
+        spec = CHIP_CATALOG[ChipType.CPU]
+        expected = math.floor(mcm.escape_gbyte_s / spec.escape_gbyte_s)
+        assert chips_per_mcm(spec, mcm) == expected

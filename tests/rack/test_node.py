@@ -1,0 +1,59 @@
+"""Baseline node model (paper §V)."""
+
+import math
+
+import pytest
+
+from repro.rack.chips import ChipType
+from repro.rack.node import PERLMUTTER_NODE, NodeConfig
+
+
+class TestPerlmutterNode:
+    def test_composition(self):
+        node = PERLMUTTER_NODE
+        assert node.cpus == 1
+        assert node.gpus == 4
+        assert node.nics == 4
+        assert node.ddr4_modules == 8
+        assert node.hbm_stacks == 4
+
+    def test_memory_capacity_256gb(self):
+        assert PERLMUTTER_NODE.memory_capacity_gbyte == 256.0
+
+    def test_memory_bandwidth(self):
+        # "maximum bandwidth of 204.8 GBps".
+        assert math.isclose(PERLMUTTER_NODE.memory_bandwidth_gbyte_s, 204.8)
+
+    def test_hbm_bandwidth(self):
+        assert math.isclose(PERLMUTTER_NODE.hbm_bandwidth_gbyte_s,
+                            4 * 1555.2)
+
+    def test_nvlink_aggregate(self):
+        # 4 GPUs x 12 links x 25 GB/s.
+        assert PERLMUTTER_NODE.gpu_interconnect_gbyte_s == 1200.0
+
+    def test_nic_bandwidth(self):
+        # 4 x 200 Gbps = 100 GB/s.
+        assert PERLMUTTER_NODE.nic_bandwidth_gbyte_s == 100.0
+
+    def test_chip_counts(self):
+        counts = PERLMUTTER_NODE.chip_counts()
+        assert counts[ChipType.CPU] == 1
+        assert counts[ChipType.GPU] == 4
+        assert counts[ChipType.DDR4] == 8
+        assert sum(counts.values()) == 21
+
+    def test_node_power(self):
+        # 250 (CPU) + 4x300 (GPU) + 8x12 (DDR4) + 4x25 (NIC) + 4x25 (HBM).
+        assert PERLMUTTER_NODE.power_w() == pytest.approx(
+            250 + 1200 + 96 + 100 + 100)
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            NodeConfig(gpus=-1)
+
+    def test_custom_node(self):
+        node = NodeConfig(gpus=8, hbm_stacks=8)
+        assert node.hbm_bandwidth_gbyte_s == pytest.approx(8 * 1555.2)

@@ -1,0 +1,56 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _ALL_ORDER, _COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_every_command_registered(self):
+        parser = build_parser()
+        for name in _COMMANDS:
+            args = parser.parse_args([name] + (
+                [] if name not in ("fig6", "fig7", "fig9", "fig11")
+                else []))
+            assert args.command == name
+
+    def test_all_order_covers_known_commands(self):
+        assert set(_ALL_ORDER) <= set(_COMMANDS)
+
+    def test_latency_flag(self):
+        args = build_parser().parse_args(["fig6", "--latency", "25"])
+        assert args.latency == 25.0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    @pytest.mark.parametrize("command", [
+        "table1", "table2", "table3", "table4", "fig5", "power",
+        "bandwidth", "isoperf", "linkbudget"])
+    def test_fast_commands_run(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 2
+
+    def test_table3_output_content(self, capsys):
+        main(["table3"])
+        out = capsys.readouterr().out
+        assert "350" in out
+        assert "ddr4" in out
+
+    def test_fig9_with_latency(self, capsys):
+        assert main(["fig9", "--latency", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9 @ 25.0 ns" in out
+
+    def test_isoperf_empirical(self, capsys):
+        assert main(["isoperf", "--empirical"]) == 0
+        out = capsys.readouterr().out
+        assert "pooling factor" in out

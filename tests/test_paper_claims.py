@@ -1,0 +1,62 @@
+"""The machine-checkable paper-claims ledger."""
+
+import pytest
+
+from repro.paper import (
+    ALL_CLAIMS,
+    Claim,
+    ClaimResult,
+    failed_claims,
+    validate_performance,
+    validate_structural,
+)
+
+
+class TestClaim:
+    def test_exact_check(self):
+        claim = Claim("x", "§", "d", 350)
+        assert claim.check(350)
+        assert not claim.check(349)
+
+    def test_absolute_tolerance(self):
+        claim = Claim("x", "§", "d", 0.23, tolerance=0.04)
+        assert claim.check(0.26)
+        assert not claim.check(0.28)
+
+    def test_relative_tolerance(self):
+        claim = Claim("x", "§", "d", 100.0, tolerance=0.1, relative=True)
+        assert claim.check(109.0)
+        assert not claim.check(111.0)
+
+    def test_result_row(self):
+        result = ClaimResult(Claim("x", "§1", "d", 1.0, 0.5), 1.2)
+        row = result.as_row()
+        assert row["ok"]
+        assert row["claim"] == "x"
+
+
+class TestLedger:
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in ALL_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_claim_cites_a_section(self):
+        assert all(c.section for c in ALL_CLAIMS)
+
+    def test_structural_claims_all_pass(self):
+        results = validate_structural()
+        bad = [r for r in results if not r.ok]
+        assert not bad, [
+            (r.claim.claim_id, r.measured) for r in bad]
+
+    @pytest.mark.slow
+    def test_performance_claims_all_pass(self):
+        results = validate_performance()
+        bad = [r for r in results if not r.ok]
+        assert not bad, [
+            (r.claim.claim_id, r.claim.paper_value, r.measured)
+            for r in bad]
+
+    @pytest.mark.slow
+    def test_failed_claims_empty_on_healthy_build(self):
+        assert failed_claims() == []

@@ -1,0 +1,79 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestBandwidthConversions:
+    def test_gbps_to_gbyte_s(self):
+        assert units.gbps_to_gbyte_s(800.0) == 100.0
+
+    def test_gbyte_s_to_gbps(self):
+        assert units.gbyte_s_to_gbps(100.0) == 800.0
+
+    def test_roundtrip(self):
+        assert units.gbps_to_gbyte_s(units.gbyte_s_to_gbps(12.5)) == 12.5
+
+    def test_tbyte_s_to_gbps(self):
+        # 2 TB/s escape = 16,000 Gbps (the Table I computation base).
+        assert units.tbyte_s_to_gbps(2.0) == 16_000.0
+
+    def test_gbps_to_tbyte_s_inverse(self):
+        assert math.isclose(units.gbps_to_tbyte_s(16_000.0), 2.0)
+
+
+class TestEnergyPower:
+    def test_pj_per_bit_to_watts(self):
+        # 30 pJ/bit at 16 Tbps = 480 W (Table I, 100G row).
+        assert math.isclose(units.pj_per_bit_to_watts(30.0, 16_000.0), 480.0)
+
+    def test_watts_to_pj_per_bit_roundtrip(self):
+        w = units.pj_per_bit_to_watts(0.5, 51_200.0)
+        assert math.isclose(units.watts_to_pj_per_bit(w, 51_200.0), 0.5)
+
+    def test_watts_to_pj_per_bit_rejects_zero_bw(self):
+        with pytest.raises(ValueError):
+            units.watts_to_pj_per_bit(1.0, 0.0)
+
+
+class TestLatency:
+    def test_propagation_4m_is_20ns(self):
+        assert units.propagation_latency_ns(4.0) == 20.0
+
+    def test_propagation_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.propagation_latency_ns(-1.0)
+
+    def test_serialization_256bit_at_200gbps(self):
+        # §III-C3: ~10 ns serialization at 200 Gbps for a FEC block;
+        # flit-level: 256 bits / 200 Gbps = 1.28 ns.
+        assert math.isclose(
+            units.serialization_latency_ns(256, 200.0), 1.28)
+
+    def test_serialization_rejects_zero_bw(self):
+        with pytest.raises(ValueError):
+            units.serialization_latency_ns(256, 0.0)
+
+    def test_ns_cycles_roundtrip(self):
+        assert math.isclose(
+            units.cycles_to_ns(units.ns_to_cycles(35.0, 2.0), 2.0), 35.0)
+
+    def test_ns_to_cycles_at_2ghz(self):
+        assert units.ns_to_cycles(35.0, 2.0) == 70.0
+
+    def test_cycles_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            units.ns_to_cycles(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(1.0, -1.0)
+
+
+class TestConstants:
+    def test_fiber_speed_consistent_with_c(self):
+        # 5 ns/m corresponds to light at ~c/1.5.
+        effective_speed = units.SPEED_OF_LIGHT_M_S / units.FIBER_REFRACTIVE_INDEX
+        ns_per_meter = 1e9 / effective_speed
+        assert abs(ns_per_meter - units.FIBER_NS_PER_METER) < 0.1

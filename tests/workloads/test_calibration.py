@@ -1,0 +1,115 @@
+"""Calibration solver: targets -> substrate parameters."""
+
+import pytest
+
+from repro.cpu.core_inorder import InOrderCore
+from repro.cpu.core_ooo import OutOfOrderCore
+from repro.cpu.memory import MemoryModel
+from repro.cpu.simulator import CPUSimulator
+from repro.cpu.trace import TraceSpec
+from repro.workloads.calibration import (
+    CalibrationError,
+    solve_ooo_mlp,
+    solve_trace_fractions,
+)
+
+
+def spec_from(frac, mem_ratio=0.3, name="cal.bench.x", instructions=400_000):
+    return TraceSpec(name=name, instructions=instructions,
+                     mem_ratio=mem_ratio,
+                     l1_fraction=frac.l1_fraction,
+                     l2_fraction=frac.l2_fraction,
+                     llc_fraction=frac.llc_fraction)
+
+
+class TestInOrderSolve:
+    @pytest.mark.parametrize("target,miss", [
+        (0.05, 0.10), (0.20, 0.30), (0.57, 0.65), (0.79, 0.75)])
+    def test_roundtrip_hits_target(self, target, miss):
+        frac = solve_trace_fractions(target, miss, mem_ratio=0.3)
+        sim = CPUSimulator()
+        res = sim.run_inorder(spec_from(frac), 35.0,
+                              cpi_base=frac.cpi_inorder)
+        assert res.slowdown == pytest.approx(target, rel=0.05)
+
+    @pytest.mark.parametrize("target,miss", [
+        (0.30, 0.40), (0.10, 0.15)])
+    def test_roundtrip_hits_miss_rate(self, target, miss):
+        frac = solve_trace_fractions(target, miss, mem_ratio=0.3)
+        sim = CPUSimulator()
+        res = sim.run_inorder(spec_from(frac), 35.0,
+                              cpi_base=frac.cpi_inorder)
+        assert res.llc_miss_rate == pytest.approx(miss, abs=0.03)
+
+    def test_fractions_sum_to_one(self):
+        frac = solve_trace_fractions(0.25, 0.35, mem_ratio=0.35)
+        total = (frac.l1_fraction + frac.l2_fraction + frac.llc_fraction
+                 + frac.dram_fraction)
+        assert total == pytest.approx(1.0)
+
+    def test_zero_target(self):
+        frac = solve_trace_fractions(0.0, 0.5, mem_ratio=0.3)
+        assert frac.dram_fraction == 0.0
+
+    def test_high_slowdown_low_miss_infeasible(self):
+        # The Fig. 7 correlation as a constraint: 60% slowdown cannot
+        # coexist with a 5% LLC miss rate.
+        with pytest.raises(CalibrationError):
+            solve_trace_fractions(0.60, 0.05, mem_ratio=0.3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CalibrationError):
+            solve_trace_fractions(0.2, 0.0, 0.3)
+        with pytest.raises(CalibrationError):
+            solve_trace_fractions(0.2, 0.3, 0.0)
+        with pytest.raises(CalibrationError):
+            solve_trace_fractions(-0.1, 0.3, 0.3)
+
+
+class TestOOOSolve:
+    def test_roundtrip_hits_ooo_target(self):
+        frac = solve_trace_fractions(0.30, 0.40, mem_ratio=0.33)
+        mlp = solve_ooo_mlp(0.45, frac, mem_ratio=0.33, cpi_ooo=0.5)
+        sim = CPUSimulator()
+        res = sim.run_ooo(spec_from(frac, mem_ratio=0.33), 35.0,
+                          cpi_exec=0.5, mlp=mlp)
+        assert res.slowdown == pytest.approx(0.45, rel=0.08)
+
+    def test_mlp_clamped_to_bounds(self):
+        frac = solve_trace_fractions(0.05, 0.10, mem_ratio=0.3)
+        mlp = solve_ooo_mlp(2.0, frac, mem_ratio=0.3)  # absurd target
+        assert 1.0 <= mlp <= 16.0
+
+    def test_zero_target_returns_min(self):
+        frac = solve_trace_fractions(0.10, 0.20, mem_ratio=0.3)
+        assert solve_ooo_mlp(0.0, frac, mem_ratio=0.3) == 1.0
+
+    def test_higher_target_means_lower_mlp(self):
+        frac = solve_trace_fractions(0.30, 0.40, mem_ratio=0.33)
+        gentle = solve_ooo_mlp(0.20, frac, mem_ratio=0.33)
+        harsh = solve_ooo_mlp(0.60, frac, mem_ratio=0.33)
+        assert harsh < gentle
+
+    def test_negative_target_rejected(self):
+        frac = solve_trace_fractions(0.10, 0.20, mem_ratio=0.3)
+        with pytest.raises(CalibrationError):
+            solve_ooo_mlp(-0.1, frac, mem_ratio=0.3)
+
+
+class TestConsistencyWithCores:
+    def test_solver_formula_matches_core_model(self):
+        """The closed form inverted by the solver must equal the
+        timing the cores actually compute (no analytic drift)."""
+        frac = solve_trace_fractions(0.40, 0.50, mem_ratio=0.35)
+        n = 1_000_000
+        mem = int(n * 0.35)
+        from repro.cpu.caches import CacheStats
+        dram = int(round(mem * frac.dram_fraction))
+        llc = int(round(mem * frac.llc_fraction))
+        l2 = int(round(mem * frac.l2_fraction))
+        stats = CacheStats(instructions=n, mem_accesses=mem,
+                           l1_hits=mem - l2 - llc - dram,
+                           l2_hits=l2, llc_hits=llc, dram_accesses=dram)
+        core = InOrderCore(cpi_base=frac.cpi_inorder)
+        slowdown = core.slowdown(stats, MemoryModel(), 35.0)
+        assert slowdown == pytest.approx(0.40, rel=0.01)

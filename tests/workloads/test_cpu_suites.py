@@ -1,0 +1,99 @@
+"""CPU benchmark tables."""
+
+import pytest
+
+from repro.workloads.cpu_suites import (
+    all_cpu_benchmarks,
+    benchmarks_by_suite,
+    nas_benchmarks,
+    parsec_benchmarks,
+    rodinia_cpu_benchmarks,
+)
+
+
+class TestComposition:
+    def test_parsec_13(self):
+        for size in ("small", "medium", "large"):
+            assert len(parsec_benchmarks(size)) == 13
+
+    def test_nas_8(self):
+        for cls in ("A", "B", "C"):
+            assert len(nas_benchmarks(cls)) == 8
+
+    def test_rodinia_14(self):
+        assert len(rodinia_cpu_benchmarks()) == 14
+
+    def test_total_runs_77(self):
+        assert len(all_cpu_benchmarks()) == 77
+
+    def test_full_names_unique(self):
+        names = [b.full_name for b in all_cpu_benchmarks()]
+        assert len(set(names)) == len(names)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            parsec_benchmarks("huge")
+        with pytest.raises(ValueError):
+            nas_benchmarks("D")
+
+    def test_by_suite_selector(self):
+        assert len(benchmarks_by_suite("parsec", "large")) == 13
+        assert len(benchmarks_by_suite("parsec")) == 39
+        assert len(benchmarks_by_suite("nas", "A")) == 8
+        assert len(benchmarks_by_suite("rodinia")) == 14
+        with pytest.raises(ValueError):
+            benchmarks_by_suite("spec")
+
+
+class TestCharacterizations:
+    def test_all_rows_solve(self):
+        # Table definition already solves; exercising trace_spec and
+        # mlp must not raise for any row.
+        for bench in all_cpu_benchmarks():
+            spec = bench.trace_spec()
+            assert spec.instructions > 0
+            assert 1.0 <= bench.mlp() <= 16.0
+
+    def test_nw_is_worst_case(self):
+        rodinia = {b.name: b for b in rodinia_cpu_benchmarks()}
+        nw = rodinia["nw"]
+        assert nw.target_inorder == max(
+            b.target_inorder for b in rodinia_cpu_benchmarks())
+        assert nw.target_inorder == pytest.approx(0.79)
+        assert nw.target_ooo == pytest.approx(0.55)
+
+    def test_streamcluster_input_cliff(self):
+        # §VI-B1: small/medium fit the LLC (<0.5% miss), large does not.
+        by_size = {s: {b.name: b for b in parsec_benchmarks(s)}
+                   for s in ("small", "medium", "large")}
+        assert by_size["small"]["streamcluster"].llc_miss_rate <= 0.005
+        assert by_size["medium"]["streamcluster"].llc_miss_rate <= 0.005
+        assert by_size["large"]["streamcluster"].llc_miss_rate > 0.60
+
+    def test_three_parsec_large_exceed_25pct(self):
+        heavy = [b for b in parsec_benchmarks("large")
+                 if b.target_inorder > 0.25]
+        assert len(heavy) == 3
+
+    def test_three_rodinia_exceed_25pct(self):
+        heavy = [b for b in rodinia_cpu_benchmarks()
+                 if b.target_inorder > 0.25]
+        assert len(heavy) == 3
+
+    def test_nas_negligible(self):
+        # §VI-B1: "NAS benchmarks are negligibly affected".
+        for cls in ("A", "B", "C"):
+            for b in nas_benchmarks(cls):
+                assert b.target_inorder < 0.05
+
+    def test_input_size_monotonicity(self):
+        # Larger inputs mean equal-or-worse miss rates per benchmark.
+        for name in ("canneal", "facesim", "ferret"):
+            sizes = [
+                {b.name: b for b in parsec_benchmarks(s)}[name]
+                for s in ("small", "medium", "large")]
+            misses = [b.llc_miss_rate for b in sizes]
+            assert misses == sorted(misses)
+
+    def test_caching_returns_same_objects(self):
+        assert parsec_benchmarks("large") is parsec_benchmarks("large")

@@ -1,0 +1,51 @@
+"""GPU application tables."""
+
+from repro.workloads.gpu_suites import (
+    RODINIA_INTERSECTION,
+    gpu_applications,
+    polybench_applications,
+    rodinia_gpu_applications,
+    tango_applications,
+)
+
+
+class TestComposition:
+    def test_24_applications(self):
+        # "we model one NVIDIA A100 GPU running a total of 24
+        # applications".
+        assert len(gpu_applications()) == 24
+
+    def test_suite_split_11_10_3(self):
+        assert len(rodinia_gpu_applications()) == 11
+        assert len(polybench_applications()) == 10
+        assert len(tango_applications()) == 3
+
+    def test_names_unique(self):
+        names = [a.name for a in gpu_applications()]
+        assert len(set(names)) == len(names)
+
+    def test_tango_members(self):
+        names = {a.name.split(".")[-1] for a in tango_applications()}
+        assert names == {"alexnet", "gru", "lstm"}
+
+
+class TestCharacterizations:
+    def test_polybench_stresses_memory(self):
+        # §VI-B3: "Polybench applications are linear algebra
+        # applications that stress the GPU cache and main memory".
+        poly = [a.llc_miss_rate for a in polybench_applications()]
+        tango = [a.llc_miss_rate for a in tango_applications()]
+        assert max(poly) > max(tango)
+
+    def test_miss_rates_in_range(self):
+        for app in gpu_applications():
+            assert 0 <= app.llc_miss_rate <= 1
+
+    def test_hbm_txn_rates_positive(self):
+        for app in gpu_applications():
+            assert app.hbm_txn_per_instr > 0
+
+    def test_intersection_subset_of_rodinia(self):
+        rodinia_names = {a.name.split(".")[-1]
+                         for a in rodinia_gpu_applications()}
+        assert set(RODINIA_INTERSECTION) <= rodinia_names

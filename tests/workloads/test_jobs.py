@@ -1,0 +1,86 @@
+"""Production job-mix generator (§III-D3 dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.network.reconfig import reconfiguration_overhead_ok
+from repro.workloads.jobs import (
+    JobMixConfig,
+    generate_job_stream,
+    stream_statistics,
+)
+
+
+class TestGeneration:
+    def test_count_and_ids_unique(self):
+        jobs = generate_job_stream(50)
+        assert len(jobs) == 50
+        ids = [j.request.job_id for j in jobs]
+        assert len(set(ids)) == 50
+
+    def test_arrivals_increase(self):
+        jobs = generate_job_stream(30)
+        arrivals = [j.arrival_s for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_durations_in_configured_band(self):
+        config = JobMixConfig(min_duration_s=120.0,
+                              max_duration_s=6 * 3600.0)
+        jobs = generate_job_stream(100, config=config)
+        for job in jobs:
+            assert 120.0 <= job.duration_s <= 6 * 3600.0
+
+    def test_seeded_reproducible(self):
+        a = generate_job_stream(20, rng=np.random.default_rng(5))
+        b = generate_job_stream(20, rng=np.random.default_rng(5))
+        assert [(j.arrival_s, j.request.memory_gbyte) for j in a] == \
+            [(j.arrival_s, j.request.memory_gbyte) for j in b]
+
+    def test_gpu_fraction_respected(self):
+        config = JobMixConfig(gpu_job_fraction=0.0)
+        jobs = generate_job_stream(40, config=config)
+        assert all(j.request.gpus == 0 for j in jobs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_job_stream(0)
+        with pytest.raises(ValueError):
+            JobMixConfig(mean_interarrival_s=0.0)
+        with pytest.raises(ValueError):
+            JobMixConfig(min_duration_s=100.0, max_duration_s=50.0)
+
+
+class TestDynamicsMatchPaper:
+    def test_jobs_start_every_few_seconds(self):
+        jobs = generate_job_stream(400, rng=np.random.default_rng(1))
+        stats = stream_statistics(jobs)
+        assert 2.0 < stats["mean_interarrival_s"] < 10.0
+
+    def test_jobs_last_minutes_to_hours(self):
+        jobs = generate_job_stream(400, rng=np.random.default_rng(2))
+        stats = stream_statistics(jobs)
+        assert 300.0 < stats["median_duration_s"] < 2 * 3600.0
+
+    def test_reconfiguration_budget_holds(self):
+        """§III-D3's conclusion: at production job-event rates, even
+        millisecond reconfiguration is ample."""
+        jobs = generate_job_stream(400, rng=np.random.default_rng(3))
+        stats = stream_statistics(jobs)
+        assert reconfiguration_overhead_ok(
+            job_event_rate_hz=stats["event_rate_hz"],
+            reconfig_time_s=1e-3)
+
+    def test_memory_demand_underutilized(self):
+        """Most jobs ask for far less memory than their node count
+        implies — the §II-A marooning input."""
+        jobs = generate_job_stream(500, rng=np.random.default_rng(4))
+        fractions = []
+        for job in jobs:
+            nodes_eq = max(1, round(job.request.cpus))
+            fractions.append(job.request.memory_gbyte
+                             / (nodes_eq * 256.0))
+        assert np.median(fractions) < 0.6
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            stream_statistics([])
