@@ -5,35 +5,27 @@ indirect routing: mispredictions rise with staleness and the two-stage
 fallback converts them into double-indirect hops instead of blocking.
 The paper's claim that "even if we piggyback this information multiple
 times a second" suffices rests on this insensitivity.
+
+Runs on the sweep engine: the grid in
+``repro.experiments.library.ABLATION_STALENESS`` replaces the old
+hand-rolled period loop.
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.network.simulator import AWGRNetworkSimulator
-from repro.network.traffic import Flow, uniform_traffic
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _sweep():
-    rows = []
-    for period in (1, 5, 25, 125):
-        sim = AWGRNetworkSimulator(n_nodes=24, planes=3,
-                                   flows_per_wavelength=1,
-                                   state_update_period=period,
-                                   rng_seed=9)
-        batches = []
-        for _ in range(10):
-            batch = uniform_traffic(24, 10, gbps=25.0)
-            batch += [Flow(src, 0, gbps=25.0) for src in (1, 2, 3)]
-            batches.append(batch)
-        report = sim.run(batches, duration_slots=3)
-        rows.append({
-            "update_period_slots": period,
-            "acceptance": report.acceptance_ratio,
-            "double_indirect": report.carried_double,
-            "stale_mispredictions": report.stale_mispredictions,
-        })
-    return rows
+    result = SweepRunner(workers=1).run(
+        get_experiment("ablation_staleness"))
+    return [{
+        "update_period_slots": row["update_period"],
+        "acceptance": row["acceptance_ratio"],
+        "double_indirect": row["double_indirect"],
+        "stale_mispredictions": row["stale_mispredictions"],
+    } for row in result.rows()]
 
 
 def test_ablation_staleness(benchmark):

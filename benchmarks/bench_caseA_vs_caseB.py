@@ -7,54 +7,24 @@ reconfiguration downtime whenever demand moves. The paper's conclusion
 ("case (A) ... avoids the need for a scheduler ... that would
 otherwise add overhead and increase reaction time") shows up as the
 AWGR carrying at least as much of the shifting demand.
+
+Runs on the sweep engine: ``repro.experiments.library.CASE_A_VS_CASE_B``
+sweeps the fabric axis over the same traffic seed.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.network.simulator import AWGRNetworkSimulator
-from repro.network.traffic import Flow, uniform_traffic
-from repro.network.wss_simulator import WSSNetworkSimulator
+from repro.experiments import SweepRunner, get_experiment
 
-
-def _shifting_batches(n_nodes, n_slots, seed):
-    rng = np.random.default_rng(seed)
-    batches = []
-    for slot in range(n_slots):
-        batch = uniform_traffic(n_nodes, 10, gbps=25.0, rng=rng)
-        hot = int(rng.integers(n_nodes))  # hotspot moves every slot
-        batch += [Flow(src, hot, gbps=25.0)
-                  for src in range(n_nodes) if src != hot][:6]
-        batches.append(batch)
-    return batches
+_COLUMNS = ("fabric", "throughput_ratio", "reconfigurations",
+            "downtime_s")
 
 
 def _experiment():
-    n = 16
-    batches = _shifting_batches(n, 10, seed=21)
-
-    awgr = AWGRNetworkSimulator(n_nodes=n, planes=5,
-                                flows_per_wavelength=1, rng_seed=21)
-    awgr_report = awgr.run([list(b) for b in batches], duration_slots=1)
-
-    # Case (B): 5 parallel switches x 16 wavelengths/port matches the
-    # AWGR's raw per-node capacity; scheduler re-plans every 2 slots.
-    wss = WSSNetworkSimulator(n_nodes=n, n_switches=5,
-                              wavelengths_per_port=16,
-                              reconfig_period=2, slot_time_s=1.0)
-    wss_report = wss.run([list(b) for b in batches])
-
-    return [
-        {"fabric": "case A: AWGR + indirect routing",
-         "throughput_ratio": awgr_report.throughput_ratio,
-         "reconfigurations": 0,
-         "downtime_s": 0.0},
-        {"fabric": "case B: WSS + central scheduler",
-         "throughput_ratio": wss_report.throughput_ratio,
-         "reconfigurations": wss_report.reconfigurations,
-         "downtime_s": wss_report.downtime_s},
-    ]
+    result = SweepRunner(workers=1).run(
+        get_experiment("case_a_vs_case_b"))
+    return [{k: row[k] for k in _COLUMNS} for row in result.rows()]
 
 
 def test_case_a_vs_case_b(benchmark):

@@ -4,36 +4,28 @@ Exercises the flow-level AWGR simulator: a hotspot drives traffic past
 the direct-wavelength budget so Valiant indirection engages; stale
 piggybacked state triggers the second-intermediate fallback without
 collapsing acceptance.
+
+Runs on the sweep engine: ``repro.experiments.library.INDIRECT_ROUTING``
+holds the fresh/stale grid the old loop hard-coded.
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.network.simulator import AWGRNetworkSimulator
-from repro.network.traffic import Flow, uniform_traffic
+from repro.experiments import SweepRunner, get_experiment
+
+_KEEP = ("offered", "direct", "indirect", "double_indirect", "blocked",
+         "acceptance_ratio", "indirect_fraction",
+         "stale_mispredictions")
 
 
 def _experiment():
-    rows = []
-    for label, period in (("fresh-state", 1), ("stale-state", 40)):
-        sim = AWGRNetworkSimulator(n_nodes=32, planes=5,
-                                   flows_per_wavelength=1,
-                                   state_update_period=period,
-                                   rng_seed=11)
-        batches = []
-        for _ in range(6):
-            batch = uniform_traffic(32, 20, gbps=25.0)
-            # Everyone also hammers node 0 beyond its direct budget.
-            batch += [Flow(src, 0, gbps=25.0)
-                      for src in (1, 2, 3) for _ in range(4)]
-            batches.append(batch)
-        report = sim.run(batches, duration_slots=3)
-        rows.append({"state": label, **{
-            k: v for k, v in report.as_dict().items()
-            if k in ("offered", "direct", "indirect", "double_indirect",
-                     "blocked", "acceptance_ratio", "indirect_fraction",
-                     "stale_mispredictions")}})
-    return rows
+    result = SweepRunner(workers=1).run(
+        get_experiment("indirect_routing"))
+    labels = {1: "fresh-state", 40: "stale-state"}
+    return [{"state": labels[row["update_period"]],
+             **{k: row[k] for k in _KEEP}}
+            for row in result.rows()]
 
 
 def test_indirect_routing(benchmark):

@@ -7,48 +7,37 @@ resources and add ~7% chips to double throughput.
 The slowdown inputs are *measured* from the CPU and GPU studies, and
 the pooling factors are cross-checked against the synthetic Cori
 profiles (which support at least the paper's conservative 4x / 2x).
+The full chain runs as the sweep engine's ``isoperf`` experiment.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis.report import render_kv
-from repro.core.isoperf import (
-    double_throughput_alternative,
-    iso_performance_comparison,
-    pooling_reduction_factor,
-)
-from repro.core.slowdown import overall_mean, run_cpu_study, run_gpu_study
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _full_chain():
-    cpu = run_cpu_study(35.0, cores=("inorder",))
-    cpu_slow = overall_mean(cpu, "inorder")
-    gpu_slow = float(np.mean([g.slowdown for g in run_gpu_study(35.0)]))
-    result = iso_performance_comparison(cpu_slowdown=cpu_slow,
-                                        gpu_slowdown=gpu_slow)
-    empirical_mem = pooling_reduction_factor("memory_capacity")
-    empirical_nic = pooling_reduction_factor("nic_bandwidth")
-    return result, cpu_slow, gpu_slow, empirical_mem, empirical_nic
+    result = SweepRunner(workers=1).run(get_experiment("isoperf"))
+    return result.rows()[0]
 
 
 def test_isoperf(benchmark):
-    (result, cpu_slow, gpu_slow,
-     empirical_mem, empirical_nic) = benchmark(_full_chain)
-    alt = double_throughput_alternative()
+    row = benchmark(_full_chain)
     emit("§VI-E — iso-performance comparison", render_kv({
-        "measured_cpu_slowdown (inorder mean)": cpu_slow,
-        "measured_gpu_slowdown (mean)": gpu_slow,
-        "baseline_modules [paper 1920]": result.baseline_total,
+        "measured_cpu_slowdown (inorder mean)": row["cpu_slowdown"],
+        "measured_gpu_slowdown (mean)": row["gpu_slowdown"],
+        "baseline_modules [paper 1920]": row["baseline_modules"],
         "disaggregated_modules [paper ~1075]":
-            result.disaggregated_total,
-        "module_reduction [paper ~0.44]": result.module_reduction,
-        "empirical_memory_pooling_factor [paper uses 4x]": empirical_mem,
-        "empirical_nic_pooling_factor [paper uses 2x]": empirical_nic,
+            row["disaggregated_modules"],
+        "module_reduction [paper ~0.44]": row["module_reduction"],
+        "empirical_memory_pooling_factor [paper uses 4x]":
+            row["empirical_memory_pooling"],
+        "empirical_nic_pooling_factor [paper uses 2x]":
+            row["empirical_nic_pooling"],
         "alt: chip_increase_to_double_throughput [paper ~0.07]":
-            alt["chip_increase"],
+            row["alt_chip_increase"],
     }))
-    assert result.baseline_total == 1920
-    assert abs(result.module_reduction - 0.44) < 0.04
-    assert empirical_mem >= 4.0
-    assert empirical_nic >= 2.0
+    assert row["baseline_modules"] == 1920
+    assert abs(row["module_reduction"] - 0.44) < 0.04
+    assert row["empirical_memory_pooling"] >= 4.0
+    assert row["empirical_nic_pooling"] >= 2.0

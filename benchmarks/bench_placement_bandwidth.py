@@ -3,7 +3,8 @@ and verify the AWGR fabric carries the resulting traffic.
 
 The analytical §VI-A argument says the six-plane AWGR fabric satisfies
 CPU-memory, NIC, and GPU-HBM demands with indirect routing. Here the
-same claim is checked constructively: jobs from the §III-D3 mix are
+same claim is checked constructively through the sweep engine's
+``placement_bandwidth`` experiment: jobs from the §III-D3 mix are
 placed first-fit on Table III's MCMs, their chip-to-chip flows are
 derived, striped into wavelengths, and offered to the flow simulator.
 """
@@ -11,41 +12,29 @@ derived, striped into wavelengths, and offered to the flow simulator.
 from conftest import emit
 
 from repro.analysis.report import render_kv
-from repro.core.allocation import JobRequest
-from repro.core.placement import PlacementEngine
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _experiment():
-    engine = PlacementEngine()
-    # A rack-scale mix: GPU-heavy, memory-heavy, and balanced jobs.
-    jobs = []
-    for i in range(6):
-        jobs.append(JobRequest(f"gpu-{i}", cpus=2, gpus=8,
-                               memory_gbyte=256.0, nic_gbps=200.0))
-    for i in range(6):
-        jobs.append(JobRequest(f"mem-{i}", cpus=4, gpus=0,
-                               memory_gbyte=2048.0, nic_gbps=100.0))
-    for i in range(6):
-        jobs.append(JobRequest(f"bal-{i}", cpus=2, gpus=4,
-                               memory_gbyte=512.0, nic_gbps=200.0))
-    report, flows = engine.validate_bandwidth(jobs)
-    return report, flows
+    result = SweepRunner(workers=1).run(
+        get_experiment("placement_bandwidth"))
+    return result.rows()[0]
 
 
 def test_placement_bandwidth(benchmark):
-    report, flows = benchmark(_experiment)
+    row = benchmark(_experiment)
     emit("§VI-A (empirical) — placed job mix on the AWGR fabric",
          render_kv({
-             "logical flows": len(flows),
-             "striped wavelength flows offered": report.offered,
-             "carried": report.carried,
-             "direct": report.carried_direct,
-             "indirect": report.carried_indirect,
-             "blocked": report.blocked,
-             "acceptance_ratio": report.acceptance_ratio,
-             "throughput_ratio": report.throughput_ratio,
+             "logical flows": row["logical_flows"],
+             "striped wavelength flows offered": row["offered"],
+             "carried": row["carried"],
+             "direct": row["direct"],
+             "indirect": row["indirect"],
+             "blocked": row["blocked"],
+             "acceptance_ratio": row["acceptance_ratio"],
+             "throughput_ratio": row["throughput_ratio"],
          }))
     # The six-plane fabric carries the mix; indirect routing does the
     # heavy lifting for GPU-HBM streams (>5 wavelengths per pair).
-    assert report.acceptance_ratio > 0.95
-    assert report.carried_indirect > 0
+    assert row["acceptance_ratio"] > 0.95
+    assert row["indirect"] > 0

@@ -51,3 +51,53 @@ def render_kv(pairs: dict, precision: int = 3,
     for key, value in pairs.items():
         lines.append(f"{str(key).ljust(width)} : {_fmt(value, precision)}")
     return "\n".join(lines)
+
+
+# -- sweep aggregation ---------------------------------------------------------
+
+def sweep_rows(sweep_result, columns: list[str] | None = None
+               ) -> list[dict]:
+    """Flatten a sweep's task results into table rows.
+
+    ``sweep_result`` is any object with ``rows()`` (duck-typed to
+    avoid importing the experiments package here); ``columns`` selects
+    and orders a subset of the merged config+metric keys.
+    """
+    rows = sweep_result.rows()
+    if columns is None:
+        return rows
+    return [{c: row.get(c) for c in columns} for row in rows]
+
+
+def aggregate_rows(rows: list[dict], by: str,
+                   metrics: list[str]) -> list[dict]:
+    """Group sweep rows by one config column and reduce each metric
+    to mean/min/max — the cross-seed / cross-repeat summary view."""
+    if not rows:
+        raise ValueError("no rows to aggregate")
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault(row.get(by), []).append(row)
+    out = []
+    for key, members in groups.items():
+        entry: dict = {by: key, "n": len(members)}
+        for metric in metrics:
+            values = [m[metric] for m in members
+                      if isinstance(m.get(metric), (int, float))
+                      and not isinstance(m.get(metric), bool)]
+            if not values:
+                continue
+            entry[f"{metric}_mean"] = sum(values) / len(values)
+            entry[f"{metric}_min"] = min(values)
+            entry[f"{metric}_max"] = max(values)
+        out.append(entry)
+    return out
+
+
+def render_sweep(sweep_result, columns: list[str] | None = None,
+                 precision: int = 3) -> str:
+    """Render a sweep result as a table plus its one-line summary."""
+    table = render_table(sweep_rows(sweep_result, columns),
+                         precision=precision,
+                         title=f"Sweep: {sweep_result.spec_name}")
+    return f"{table}\n\n{sweep_result.summary()}"

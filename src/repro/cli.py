@@ -180,6 +180,37 @@ def _cmd_claims(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.analysis.report import render_sweep, render_table
+    from repro.experiments import (
+        EXPERIMENTS,
+        ResultCache,
+        SweepRunner,
+        default_workers,
+        get_experiment,
+    )
+    if args.list or not args.experiment:
+        rows = [{"experiment": spec.name, "tasks": len(spec),
+                 "description": spec.description}
+                for spec in EXPERIMENTS.values()]
+        print(render_table(rows, title="Registered sweeps"))
+        if not args.experiment and not args.list:
+            raise SystemExit("sweep: name an experiment or use --list")
+        return
+    try:
+        spec = get_experiment(args.experiment)
+    except KeyError as exc:
+        raise SystemExit(f"sweep: {exc.args[0]}") from None
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    workers = (args.workers if args.workers is not None
+               else default_workers())
+    if workers < 1:
+        raise SystemExit("sweep: --workers must be >= 1")
+    runner = SweepRunner(workers=workers, cache=cache)
+    result = runner.run(spec, force=args.force)
+    print(render_sweep(result))
+
+
 _COMMANDS = {
     "table1": (_cmd_table1, "Table I link technologies"),
     "table2": (_cmd_table2, "Table II switch catalog"),
@@ -197,6 +228,8 @@ _COMMANDS = {
     "isoperf": (_cmd_isoperf, "§VI-E iso-performance"),
     "linkbudget": (_cmd_linkbudget, "optical link budget check"),
     "claims": (_cmd_claims, "validate the paper-claims ledger"),
+    "sweep": (_cmd_sweep, "run a registered parameter sweep (cached, "
+                          "parallel)"),
 }
 
 #: Order used by `repro all` (paper order).
@@ -230,6 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--fast", action="store_true",
                            help="structural claims only (skip the "
                                 "slowdown studies)")
+        if name == "sweep":
+            p.add_argument("experiment", nargs="?",
+                           help="registered experiment name "
+                                "(see --list)")
+            p.add_argument("--list", action="store_true",
+                           help="list registered sweeps and exit")
+            p.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default: CPU "
+                                "count minus one, capped at 8)")
+            p.add_argument("--cache-dir", default=".repro-cache",
+                           help="result cache directory "
+                                "(default: .repro-cache)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="disable the result cache")
+            p.add_argument("--force", action="store_true",
+                           help="ignore cached results but refresh "
+                                "them")
     sub.add_parser("all", help="run every experiment in paper order")
     return parser
 

@@ -94,7 +94,10 @@ class RackScheduler:
                 i += 1
 
             # Start whatever fits (FCFS head first; backfill optionally).
-            started: list[ScheduledJob] = []
+            # Track started positions and rebuild the queue once: the
+            # old `queue.remove(job)` pattern rescanned the queue per
+            # started job, O(n^2) on bursty arrivals.
+            started_pos: set[int] = set()
             for pos, job in enumerate(queue):
                 if pos > 0 and not self.backfill:
                     break
@@ -112,11 +115,12 @@ class RackScheduler:
                         start_s=now,
                         end_s=now + job.duration_s))
                     self.reconfigurations += 1
-                    started.append(job)
+                    started_pos.add(pos)
                 elif pos == 0 and not self.backfill:
                     break
-            for job in started:
-                queue.remove(job)
+            if started_pos:
+                queue = [job for pos, job in enumerate(queue)
+                         if pos not in started_pos]
 
             # Nothing running and head of queue cannot ever fit?
             if not running and queue and not any(

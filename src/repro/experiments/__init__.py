@@ -1,0 +1,39 @@
+"""Declarative, cached, parallel experiment sweeps.
+
+The chassis behind ``repro sweep`` and the ported benchmarks: specs
+declare a parameter grid, the runner fans grid points out over worker
+processes with deterministic per-task seeds, and a JSON cache makes
+re-runs instant. See :mod:`repro.experiments.library` for the
+registered sweeps.
+"""
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.library import EXPERIMENTS, get_experiment
+from repro.experiments.runner import (
+    SweepResult,
+    SweepRunner,
+    TaskResult,
+    default_workers,
+)
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SweepTask,
+    canonical_json,
+    derive_seed,
+    stable_hash,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepResult",
+    "SweepRunner",
+    "SweepTask",
+    "TaskResult",
+    "canonical_json",
+    "default_workers",
+    "derive_seed",
+    "get_experiment",
+    "stable_hash",
+]

@@ -1,0 +1,227 @@
+"""Registered experiment sweeps (the paper's parameter studies).
+
+Each spec reproduces what a ``benchmarks/bench_*.py`` module used to
+hand-roll as a serial loop: one grid point per loop iteration, with
+all of the loop's hard-coded constants carried in the config so the
+sweep engine regenerates *bit-identical* metrics. Factories and
+extractors are module-level functions so they pickle into worker
+processes.
+
+These registered sweeps are deterministic *replays*: their RNG inputs
+are pinned in the config (``rng_seed`` etc.), so the engine-derived
+``seed`` argument — and therefore ``ExperimentSpec.base_seed`` — does
+not change their results, only their cache identity. For resampling
+studies, write a factory that consumes ``seed`` (see
+``examples/sweep_demo.py``) instead of pinning seeds in config.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.spec import ExperimentSpec
+from repro.network.simulator import AWGRNetworkSimulator, SimulationReport
+from repro.network.traffic import Flow, uniform_traffic
+
+
+def report_metrics(report: SimulationReport) -> dict:
+    """Standard metric extraction for AWGR simulation reports."""
+    return report.as_dict()
+
+
+def identity_metrics(result: dict) -> dict:
+    """For factories that already produce a flat metrics dict."""
+    return result
+
+
+# -- hotspot + staleness studies (§IV / §IV-A) -------------------------------
+
+def hotspot_staleness_task(config: dict, seed: int) -> SimulationReport:
+    """Uniform background plus a node-0 hotspot, at one staleness.
+
+    Covers both the §IV-A staleness ablation (light hotspot) and the
+    §IV indirect-routing study (hotspot past the direct budget):
+    ``uniform_flows`` sizes the background and ``hotspot_repeats``
+    multiplies the three hotspot senders.
+    """
+    sim = AWGRNetworkSimulator(
+        n_nodes=config["n_nodes"], planes=config["planes"],
+        flows_per_wavelength=1,
+        state_update_period=config["update_period"],
+        rng_seed=config["rng_seed"])
+    batches = []
+    for _ in range(config["n_batches"]):
+        batch = uniform_traffic(config["n_nodes"],
+                                config["uniform_flows"], gbps=25.0)
+        batch += [Flow(src, 0, gbps=25.0)
+                  for src in (1, 2, 3)
+                  for _ in range(config["hotspot_repeats"])]
+        batches.append(batch)
+    return sim.run(batches, duration_slots=config["duration_slots"])
+
+
+ABLATION_STALENESS = ExperimentSpec(
+    name="ablation_staleness",
+    description="§IV-A: piggyback staleness vs acceptance",
+    factory=hotspot_staleness_task,
+    metrics=report_metrics,
+    grid={"update_period": (1, 5, 25, 125)},
+    fixed={"n_nodes": 24, "planes": 3, "rng_seed": 9, "n_batches": 10,
+           "uniform_flows": 10, "hotspot_repeats": 1,
+           "duration_slots": 3})
+
+INDIRECT_ROUTING = ExperimentSpec(
+    name="indirect_routing",
+    description="§IV: indirect routing under hotspot load",
+    factory=hotspot_staleness_task,
+    metrics=report_metrics,
+    grid={"update_period": (1, 40)},
+    fixed={"n_nodes": 32, "planes": 5, "rng_seed": 11, "n_batches": 6,
+           "uniform_flows": 20, "hotspot_repeats": 4,
+           "duration_slots": 3})
+
+
+# -- placement bandwidth (§VI-A, empirical) ----------------------------------
+
+def placement_bandwidth_task(config: dict, seed: int) -> dict:
+    """Place a production job mix and offer its traffic to the fabric."""
+    from repro.core.allocation import JobRequest
+    from repro.core.placement import PlacementEngine
+
+    engine = PlacementEngine()
+    jobs = []
+    for i in range(config["gpu_jobs"]):
+        jobs.append(JobRequest(f"gpu-{i}", cpus=2, gpus=8,
+                               memory_gbyte=256.0, nic_gbps=200.0))
+    for i in range(config["mem_jobs"]):
+        jobs.append(JobRequest(f"mem-{i}", cpus=4, gpus=0,
+                               memory_gbyte=2048.0, nic_gbps=100.0))
+    for i in range(config["bal_jobs"]):
+        jobs.append(JobRequest(f"bal-{i}", cpus=2, gpus=4,
+                               memory_gbyte=512.0, nic_gbps=200.0))
+    report, flows = engine.validate_bandwidth(
+        jobs, planes=config["planes"])
+    return {"logical_flows": len(flows), **report.as_dict()}
+
+
+PLACEMENT_BANDWIDTH = ExperimentSpec(
+    name="placement_bandwidth",
+    description="§VI-A empirical: job mix placed on the AWGR fabric",
+    factory=placement_bandwidth_task,
+    metrics=identity_metrics,
+    grid={"planes": (6,)},
+    fixed={"gpu_jobs": 6, "mem_jobs": 6, "bal_jobs": 6})
+
+
+# -- case (A) AWGR vs case (B) WSS (§VI-A) -----------------------------------
+
+def shifting_batches(n_nodes: int, n_slots: int, seed: int
+                     ) -> list[list[Flow]]:
+    """Uniform background plus a hotspot that moves every slot."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(n_slots):
+        batch = uniform_traffic(n_nodes, 10, gbps=25.0, rng=rng)
+        hot = int(rng.integers(n_nodes))  # hotspot moves every slot
+        batch += [Flow(src, hot, gbps=25.0)
+                  for src in range(n_nodes) if src != hot][:6]
+        batches.append(batch)
+    return batches
+
+
+def case_fabric_task(config: dict, seed: int) -> dict:
+    """Run one fabric (AWGR or WSS) against the shifting demand."""
+    batches = shifting_batches(config["n_nodes"], config["n_slots"],
+                               config["traffic_seed"])
+    if config["fabric"] == "awgr":
+        sim = AWGRNetworkSimulator(
+            n_nodes=config["n_nodes"], planes=5,
+            flows_per_wavelength=1, rng_seed=config["traffic_seed"])
+        report = sim.run([list(b) for b in batches], duration_slots=1)
+        return {"fabric": "case A: AWGR + indirect routing",
+                "throughput_ratio": report.throughput_ratio,
+                "reconfigurations": 0,
+                "downtime_s": 0.0}
+    from repro.network.wss_simulator import WSSNetworkSimulator
+    # 5 parallel switches x 16 wavelengths/port matches the AWGR's raw
+    # per-node capacity; scheduler re-plans every 2 slots.
+    wss = WSSNetworkSimulator(n_nodes=config["n_nodes"], n_switches=5,
+                              wavelengths_per_port=16,
+                              reconfig_period=2, slot_time_s=1.0)
+    report = wss.run([list(b) for b in batches])
+    return {"fabric": "case B: WSS + central scheduler",
+            "throughput_ratio": report.throughput_ratio,
+            "reconfigurations": report.reconfigurations,
+            "downtime_s": report.downtime_s}
+
+
+CASE_A_VS_CASE_B = ExperimentSpec(
+    name="case_a_vs_case_b",
+    description="§VI-A: AWGR vs reconfigurable WSS under shifting "
+                "demand",
+    factory=case_fabric_task,
+    metrics=identity_metrics,
+    grid={"fabric": ("awgr", "wss")},
+    fixed={"n_nodes": 16, "n_slots": 10, "traffic_seed": 21})
+
+
+# -- iso-performance (§VI-E) -------------------------------------------------
+
+def isoperf_task(config: dict, seed: int) -> dict:
+    """Measured slowdowns -> §VI-E module arithmetic + pooling check."""
+    from repro.core.isoperf import (
+        double_throughput_alternative,
+        iso_performance_comparison,
+        pooling_reduction_factor,
+    )
+    from repro.core.slowdown import (
+        overall_mean,
+        run_cpu_study,
+        run_gpu_study,
+    )
+
+    latency = config["latency_ns"]
+    cpu = run_cpu_study(latency, cores=("inorder",))
+    cpu_slow = overall_mean(cpu, "inorder")
+    gpu_slow = float(np.mean(
+        [g.slowdown for g in run_gpu_study(latency)]))
+    result = iso_performance_comparison(cpu_slowdown=cpu_slow,
+                                        gpu_slowdown=gpu_slow)
+    alt = double_throughput_alternative()
+    return {
+        "cpu_slowdown": cpu_slow,
+        "gpu_slowdown": gpu_slow,
+        "baseline_modules": result.baseline_total,
+        "disaggregated_modules": result.disaggregated_total,
+        "module_reduction": result.module_reduction,
+        "empirical_memory_pooling":
+            pooling_reduction_factor("memory_capacity"),
+        "empirical_nic_pooling":
+            pooling_reduction_factor("nic_bandwidth"),
+        "alt_chip_increase": alt["chip_increase"],
+    }
+
+
+ISOPERF = ExperimentSpec(
+    name="isoperf",
+    description="§VI-E: iso-performance module comparison",
+    factory=isoperf_task,
+    metrics=identity_metrics,
+    grid={"latency_ns": (35.0,)})
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (ABLATION_STALENESS, INDIRECT_ROUTING,
+                 PLACEMENT_BANDWIDTH, CASE_A_VS_CASE_B, ISOPERF)
+}
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered sweep by name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {name!r} (known: {known})") from None

@@ -1,0 +1,147 @@
+"""Parallel sweep execution over a process pool.
+
+``SweepRunner`` takes an :class:`~repro.experiments.spec.ExperimentSpec`,
+serves whatever it can from the :class:`~repro.experiments.cache.ResultCache`,
+and fans the remaining tasks out over ``concurrent.futures.
+ProcessPoolExecutor``. Results come back in grid order regardless of
+completion order, so a sweep's output is deterministic whether it ran
+serial, parallel, or fully cached.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import ExperimentSpec, SweepTask
+
+
+def _execute(task: SweepTask) -> tuple[dict, float]:
+    """Worker entry point (module-level so it pickles).
+
+    Times the task in the worker itself so ``duration_s`` is the
+    task's own runtime even when the pool runs tasks concurrently.
+    """
+    t0 = time.perf_counter()
+    metrics = task.execute()
+    return metrics, time.perf_counter() - t0
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one grid point."""
+
+    config: dict
+    seed: int
+    metrics: dict
+    cached: bool
+    duration_s: float
+
+    def row(self) -> dict:
+        """Config and metrics merged into one flat report row."""
+        return {**self.config, **self.metrics}
+
+
+@dataclass
+class SweepResult:
+    """All task results of one sweep, in grid order."""
+
+    spec_name: str
+    results: list[TaskResult] = field(default_factory=list)
+    workers: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def n_cached(self) -> int:
+        """How many tasks were served from the result cache."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def n_executed(self) -> int:
+        """How many tasks actually simulated."""
+        return len(self.results) - self.n_cached
+
+    def rows(self) -> list[dict]:
+        """Flat config+metrics rows (report/table input)."""
+        return [r.row() for r in self.results]
+
+    def summary(self) -> str:
+        """One-line human summary of the sweep run."""
+        return (f"{self.spec_name}: {len(self.results)} tasks "
+                f"({self.n_cached} cached, {self.n_executed} run) "
+                f"on {self.workers} worker(s) in {self.wall_s:.2f}s")
+
+
+def default_workers() -> int:
+    """Process-pool width used when the caller does not choose one."""
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+@dataclass
+class SweepRunner:
+    """Runs experiment sweeps, optionally cached and parallel.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width. ``1`` (the default) executes inline in
+        this process — right for unit tests and pytest-benchmark
+        timing; pass >1 (or :func:`default_workers`) to fan out.
+    cache:
+        Result cache; ``None`` disables caching entirely.
+    """
+
+    workers: int = 1
+    cache: ResultCache | None = None
+
+    def run(self, spec: ExperimentSpec, force: bool = False
+            ) -> SweepResult:
+        """Execute (or replay) every task of ``spec``.
+
+        With ``force`` the cache is ignored for reads but still
+        written, refreshing stale entries in place.
+        """
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        t0 = time.perf_counter()
+        tasks = spec.tasks()
+        slots: list[TaskResult | None] = [None] * len(tasks)
+        pending: list[SweepTask] = []
+        for task in tasks:
+            hit = None
+            if self.cache is not None and not force:
+                hit = self.cache.load(task)
+            if hit is not None:
+                slots[task.index] = TaskResult(
+                    config=task.config, seed=task.seed, metrics=hit,
+                    cached=True, duration_s=0.0)
+            else:
+                pending.append(task)
+
+        for task, metrics, duration in self._execute_all(pending):
+            if self.cache is not None:
+                self.cache.store(task, metrics)
+            slots[task.index] = TaskResult(
+                config=task.config, seed=task.seed, metrics=metrics,
+                cached=False, duration_s=duration)
+
+        return SweepResult(
+            spec_name=spec.name,
+            results=[r for r in slots if r is not None],
+            workers=self.workers,
+            wall_s=time.perf_counter() - t0)
+
+    def _execute_all(self, pending: list[SweepTask]
+                     ) -> list[tuple[SweepTask, dict, float]]:
+        if not pending:
+            return []
+        if self.workers == 1 or len(pending) == 1:
+            timed = [_execute(task) for task in pending]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                timed = list(pool.map(_execute, pending))
+        return [(task, metrics, duration)
+                for task, (metrics, duration) in zip(pending, timed)]

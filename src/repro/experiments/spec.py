@@ -1,0 +1,159 @@
+"""Declarative experiment specifications for parameter sweeps.
+
+An :class:`ExperimentSpec` names a parameter grid, a *factory* that
+runs one configuration to a result object, and a *metric extractor*
+that reduces the result to a JSON-serializable dict. The spec expands
+its grid into :class:`SweepTask` instances, each carrying a
+deterministic RNG seed derived from a stable hash of (spec identity,
+task config) — so the same spec always yields the same seeds, across
+processes and Python invocations, without any global state.
+
+Factories and extractors must be *module-level* callables: tasks fan
+out over ``ProcessPoolExecutor`` and therefore have to pickle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a config value to a canonical JSON-stable form."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    raise TypeError(f"config value {value!r} is not JSON-stable")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(_canonical(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def stable_hash(obj: Any) -> str:
+    """Hex digest of an object's canonical JSON; stable across runs
+    (unlike ``hash()``, which Python salts per process)."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+def derive_seed(spec_name: str, version: int, base_seed: int,
+                config: Mapping[str, Any]) -> int:
+    """Deterministic 63-bit RNG seed for one task of one spec."""
+    payload = {"spec": spec_name, "version": version,
+               "base_seed": base_seed, "config": config}
+    return int(stable_hash(payload)[:16], 16) & (2**63 - 1)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid point: everything a worker process needs to run it."""
+
+    spec_name: str
+    version: int
+    index: int
+    config: dict[str, Any]
+    seed: int
+    factory: Callable[[dict, int], Any]
+    metrics: Callable[[Any], dict]
+
+    @property
+    def config_hash(self) -> str:
+        """Stable hash of the task's config (cache key component)."""
+        return stable_hash({"spec": self.spec_name,
+                            "version": self.version,
+                            "config": self.config})
+
+    def execute(self) -> dict[str, Any]:
+        """Run factory + metric extraction for this configuration."""
+        result = self.factory(self.config, self.seed)
+        return self.metrics(result)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, declarative parameter sweep.
+
+    Parameters
+    ----------
+    name:
+        Registry / cache namespace for the sweep.
+    factory:
+        Module-level callable ``(config, seed) -> result`` running one
+        configuration end-to-end.
+    metrics:
+        Module-level callable ``result -> dict`` reducing the result
+        to JSON-serializable metrics (e.g. ``SimulationReport.as_dict``
+        wrapped in a function).
+    grid:
+        Mapping of parameter name to the sequence of values to sweep.
+        The cartesian product, in declaration order, is the task list.
+    fixed:
+        Parameters shared by every task (merged under each grid point;
+        a grid key overrides a fixed key of the same name).
+    base_seed:
+        Stirred into every task's derived seed: bump to resample.
+        Only affects factories that consume their ``seed`` argument —
+        specs that pin RNG inputs in the config (the registered paper
+        replays in :mod:`repro.experiments.library`) stay bit-
+        identical and merely recompute under a new cache identity.
+    version:
+        Cache-busting version; bump when factory semantics change.
+    description:
+        One-line summary shown by ``repro sweep --list``.
+    """
+
+    name: str
+    factory: Callable[[dict, int], Any]
+    metrics: Callable[[Any], dict]
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    base_seed: int = 0
+    version: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec needs a name")
+        for param, values in self.grid.items():
+            if not isinstance(values, Sequence) or isinstance(values, str):
+                raise TypeError(
+                    f"grid[{param!r}] must be a sequence of values")
+            if len(values) == 0:
+                raise ValueError(f"grid[{param!r}] is empty")
+
+    def configs(self) -> list[dict[str, Any]]:
+        """Expand fixed params x grid into per-task config dicts."""
+        if not self.grid:
+            return [dict(self.fixed)]
+        names = list(self.grid)
+        out = []
+        for combo in itertools.product(*(self.grid[n] for n in names)):
+            config = dict(self.fixed)
+            config.update(zip(names, combo))
+            out.append(config)
+        return out
+
+    def tasks(self) -> list[SweepTask]:
+        """Materialize the sweep's task list with derived seeds."""
+        return [SweepTask(spec_name=self.name, version=self.version,
+                          index=i, config=config,
+                          seed=derive_seed(self.name, self.version,
+                                           self.base_seed, config),
+                          factory=self.factory, metrics=self.metrics)
+                for i, config in enumerate(self.configs())]
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n

@@ -1,0 +1,63 @@
+"""Sweep aggregation helpers in the report module."""
+
+import pytest
+
+from repro.analysis.report import aggregate_rows, render_sweep, sweep_rows
+
+
+class FakeSweep:
+    spec_name = "fake"
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def rows(self):
+        return self._rows
+
+    def summary(self):
+        return "fake: 2 tasks"
+
+
+ROWS = [
+    {"period": 1, "acceptance": 1.0, "label": "fresh"},
+    {"period": 1, "acceptance": 0.8, "label": "fresh"},
+    {"period": 5, "acceptance": 0.6, "label": "stale"},
+]
+
+
+class TestSweepRows:
+    def test_passthrough(self):
+        assert sweep_rows(FakeSweep(ROWS)) == ROWS
+
+    def test_column_selection_orders_and_fills(self):
+        rows = sweep_rows(FakeSweep(ROWS),
+                          columns=["acceptance", "missing"])
+        assert rows[0] == {"acceptance": 1.0, "missing": None}
+
+
+class TestAggregateRows:
+    def test_groups_and_reduces(self):
+        agg = aggregate_rows(ROWS, by="period",
+                             metrics=["acceptance"])
+        by_period = {row["period"]: row for row in agg}
+        assert by_period[1]["n"] == 2
+        assert by_period[1]["acceptance_mean"] == pytest.approx(0.9)
+        assert by_period[1]["acceptance_min"] == 0.8
+        assert by_period[1]["acceptance_max"] == 1.0
+        assert by_period[5]["acceptance_mean"] == pytest.approx(0.6)
+
+    def test_non_numeric_metrics_skipped(self):
+        agg = aggregate_rows(ROWS, by="period", metrics=["label"])
+        assert "label_mean" not in agg[0]
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_rows([], by="period", metrics=["acceptance"])
+
+
+class TestRenderSweep:
+    def test_contains_table_and_summary(self):
+        text = render_sweep(FakeSweep(ROWS))
+        assert "Sweep: fake" in text
+        assert "acceptance" in text
+        assert "fake: 2 tasks" in text

@@ -68,6 +68,36 @@ class TestBackfill:
         assert records["tiny"].start_s >= 10.0  # stuck behind big2
 
 
+class TestSimultaneousArrivals:
+    def test_fcfs_ties_broken_by_job_id(self):
+        """Identical arrival_s: jobs serialize in job_id order."""
+        scheduler = sched(n_nodes=1)  # room for one 4-GPU job at a time
+        jobs = [sjob(name, 5.0, 10.0, gpus=4)
+                for name in ("c", "a", "b")]
+        records = scheduler.run(jobs)
+        assert [r.job_id for r in records] == ["a", "b", "c"]
+        assert [r.start_s for r in records] == [5.0, 15.0, 25.0]
+
+    def test_burst_of_simultaneous_arrivals_all_start(self):
+        scheduler = sched(n_nodes=4)  # 16 GPUs: all four fit at once
+        jobs = [sjob(f"j{i}", 1.0, 2.0, gpus=4) for i in (3, 0, 2, 1)]
+        records = scheduler.run(jobs)
+        assert [r.job_id for r in records] == ["j0", "j1", "j2", "j3"]
+        assert all(r.start_s == 1.0 for r in records)
+
+    def test_partial_start_keeps_waiters_queued(self):
+        """A burst larger than the rack starts a prefix (by job_id) and
+        keeps the rest queued — exercises the index-based rebuild."""
+        scheduler = sched(n_nodes=2)  # 8 GPUs: two jobs at a time
+        jobs = [sjob(f"j{i}", 0.0, 10.0, gpus=4) for i in range(5)]
+        records = {r.job_id: r for r in scheduler.run(jobs)}
+        assert records["j0"].start_s == 0.0
+        assert records["j1"].start_s == 0.0
+        assert records["j2"].start_s == 10.0
+        assert records["j3"].start_s == 10.0
+        assert records["j4"].start_s == 20.0
+
+
 class TestReconfigurationRate:
     def test_rate_far_below_switch_speed(self):
         """§III-D3: job start/finish events are seconds apart, so even

@@ -1,0 +1,52 @@
+"""Registered sweeps reproduce the benchmarks' serial loops."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, SweepRunner, get_experiment
+from repro.network.simulator import AWGRNetworkSimulator
+from repro.network.traffic import Flow, uniform_traffic
+
+
+class TestRegistry:
+    def test_expected_experiments_registered(self):
+        assert {"ablation_staleness", "indirect_routing",
+                "placement_bandwidth", "case_a_vs_case_b",
+                "isoperf"} <= set(EXPERIMENTS)
+
+    def test_every_spec_describes_itself(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.description
+            assert len(spec) >= 1
+
+    def test_unknown_experiment_names_known_ones(self):
+        with pytest.raises(KeyError, match="ablation_staleness"):
+            get_experiment("nope")
+
+
+class TestEquivalenceWithSerialLoops:
+    def test_staleness_grid_point_matches_direct_run(self):
+        """One sweep task == one iteration of the old bench loop."""
+        spec = get_experiment("ablation_staleness")
+        row = SweepRunner(workers=1).run(spec).rows()[0]
+        assert row["update_period"] == 1
+        sim = AWGRNetworkSimulator(n_nodes=24, planes=3,
+                                   flows_per_wavelength=1,
+                                   state_update_period=1, rng_seed=9)
+        batches = []
+        for _ in range(10):
+            batch = uniform_traffic(24, 10, gbps=25.0)
+            batch += [Flow(src, 0, gbps=25.0) for src in (1, 2, 3)]
+            batches.append(batch)
+        report = sim.run(batches, duration_slots=3)
+        for key, value in report.as_dict().items():
+            assert row[key] == value, key
+
+    def test_case_sweep_covers_both_fabrics(self):
+        rows = SweepRunner(workers=1).run(
+            get_experiment("case_a_vs_case_b")).rows()
+        fabrics = [r["fabric"] for r in rows]
+        assert any("AWGR" in f for f in fabrics)
+        assert any("WSS" in f for f in fabrics)
+        # Case A's defining property: zero reconfigurations.
+        case_a = next(r for r in rows if "AWGR" in r["fabric"])
+        assert case_a["reconfigurations"] == 0

@@ -1,0 +1,153 @@
+"""SweepRunner + ResultCache: hits, misses, determinism, round-trips."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    ResultCache,
+    SweepRunner,
+    get_experiment,
+)
+from repro.experiments.cache import decode_metrics, encode_metrics
+from repro.network.simulator import AWGRNetworkSimulator
+from repro.network.traffic import uniform_traffic
+
+
+def sim_factory(config, seed):
+    """Seed-sensitive simulation: traffic drawn from the task seed."""
+    import numpy as np
+    sim = AWGRNetworkSimulator(n_nodes=config["n_nodes"],
+                               planes=config["planes"],
+                               flows_per_wavelength=1, rng_seed=seed)
+    rng = np.random.default_rng(seed)
+    batches = [uniform_traffic(config["n_nodes"], 8, rng=rng)
+               for _ in range(4)]
+    return sim.run(batches, duration_slots=2)
+
+
+def sim_metrics(report):
+    return report.as_dict()
+
+
+def make_spec(**overrides):
+    kwargs = dict(name="mini_sim", factory=sim_factory,
+                  metrics=sim_metrics,
+                  grid={"planes": (1, 2)}, fixed={"n_nodes": 8})
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_spec_bit_identical_reports(self):
+        rows_a = SweepRunner(workers=1).run(make_spec()).rows()
+        rows_b = SweepRunner(workers=1).run(make_spec()).rows()
+        assert rows_a == rows_b
+
+    def test_base_seed_changes_results(self):
+        rows_a = SweepRunner(workers=1).run(make_spec()).rows()
+        rows_b = SweepRunner(workers=1).run(
+            make_spec(base_seed=7)).rows()
+        assert rows_a != rows_b
+
+    def test_parallel_matches_serial(self):
+        serial = SweepRunner(workers=1).run(make_spec()).rows()
+        parallel = SweepRunner(workers=2).run(make_spec()).rows()
+        assert parallel == serial
+
+    def test_registered_experiment_deterministic(self):
+        spec = get_experiment("ablation_staleness")
+        a = SweepRunner(workers=1).run(spec).rows()
+        b = SweepRunner(workers=1).run(spec).rows()
+        assert a == b
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        first = runner.run(make_spec())
+        assert first.n_cached == 0 and first.n_executed == 2
+        assert len(cache) == 2
+        second = runner.run(make_spec())
+        assert second.n_cached == 2 and second.n_executed == 0
+        assert second.rows() == first.rows()
+
+    def test_version_bump_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.run(make_spec())
+        rerun = runner.run(make_spec(version=2))
+        assert rerun.n_cached == 0
+
+    def test_base_seed_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.run(make_spec())
+        rerun = runner.run(make_spec(base_seed=3))
+        assert rerun.n_cached == 0
+
+    def test_force_refreshes_but_still_writes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.run(make_spec())
+        forced = runner.run(make_spec(), force=True)
+        assert forced.n_cached == 0
+        assert runner.run(make_spec()).n_cached == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.run(make_spec())
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        rerun = runner.run(make_spec())
+        assert rerun.n_cached == 0
+
+    def test_entries_are_readable_json_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepRunner(workers=1, cache=cache).run(make_spec())
+        entry = json.loads(next(iter(tmp_path.glob("*.json")))
+                           .read_text())
+        assert entry["spec"] == "mini_sim"
+        assert entry["config"]["n_nodes"] == 8
+        assert "acceptance_ratio" in entry["metrics"]
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepRunner(workers=1, cache=cache).run(make_spec())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSerializerRoundTrip:
+    def test_simulation_report_as_dict_round_trips(self):
+        report = sim_factory({"n_nodes": 8, "planes": 2}, seed=5)
+        metrics = report.as_dict()
+        assert decode_metrics(encode_metrics(metrics)) == metrics
+
+    def test_numpy_scalars_flatten(self):
+        import numpy as np
+        metrics = {"i": np.int64(3), "f": np.float64(0.5),
+                   "b": np.bool_(True), "a": np.arange(3)}
+        decoded = decode_metrics(encode_metrics(metrics))
+        assert decoded == {"i": 3, "f": 0.5, "b": True, "a": [0, 1, 2]}
+
+    def test_cached_rows_equal_fresh_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        fresh = runner.run(make_spec()).rows()
+        cached = runner.run(make_spec()).rows()
+        assert cached == fresh
+
+
+class TestRunnerValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0).run(make_spec())
+
+    def test_summary_mentions_counts(self, tmp_path):
+        runner = SweepRunner(workers=1, cache=ResultCache(tmp_path))
+        summary = runner.run(make_spec()).summary()
+        assert "2 tasks" in summary and "0 cached" in summary

@@ -39,6 +39,29 @@ class TestAdmission:
         sim.drain()
         assert sim.allocator.utilization() == 0.0
 
+    def test_drain_frees_capacity_for_subsequent_offers(self):
+        """After drain(), a previously saturated pair admits direct
+        again — the freed slots are really back in the allocator."""
+        sim = AWGRNetworkSimulator(n_nodes=4, planes=1,
+                                   flows_per_wavelength=1)
+        first = sim.offer(Flow(0, 1, gbps=25.0), duration_slots=100)
+        assert first.kind is RouteKind.DIRECT
+        assert sim.allocator.free_slots(0, 1) == 0
+        # The direct wavelength is taken: the next offer must detour.
+        second = sim.offer(Flow(0, 1, gbps=25.0), duration_slots=100)
+        assert second.kind is not RouteKind.DIRECT
+        sim.drain()
+        assert sim.allocator.free_slots(0, 1) == 1
+        again = sim.offer(Flow(0, 1, gbps=25.0), duration_slots=1)
+        assert again.kind is RouteKind.DIRECT
+
+    def test_drain_is_idempotent(self):
+        sim = AWGRNetworkSimulator(n_nodes=4)
+        sim.offer(Flow(0, 1, gbps=25.0), duration_slots=5)
+        sim.drain()
+        sim.drain()
+        assert sim.allocator.utilization() == 0.0
+
 
 class TestRunReports:
     def test_light_uniform_all_direct(self):

@@ -54,3 +54,46 @@ class TestExecution:
         assert main(["isoperf", "--empirical"]) == 0
         out = capsys.readouterr().out
         assert "pooling factor" in out
+
+
+class TestSweep:
+    def test_list_shows_registered_experiments(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation_staleness" in out
+        assert "case_a_vs_case_b" in out
+
+    def test_missing_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit, match="ablation_staleness"):
+            main(["sweep", "nope", "--no-cache"])
+
+    def test_zero_workers_errors(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["sweep", "indirect_routing", "--workers", "0",
+                  "--no-cache"])
+
+    def test_sweep_runs_and_second_invocation_is_cached(
+            self, capsys, tmp_path):
+        argv = ["sweep", "ablation_staleness", "--workers", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cached, 4 run" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "4 cached, 0 run" in second
+        # identical rows either way (ignore the timing line)
+        strip = lambda s: [ln for ln in s.splitlines()
+                           if " tasks (" not in ln]
+        assert strip(first) == strip(second)
+
+    def test_no_cache_always_recomputes(self, capsys, tmp_path):
+        argv = ["sweep", "indirect_routing", "--no-cache"]
+        assert main(argv) == 0
+        assert "0 cached, 2 run" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "0 cached, 2 run" in capsys.readouterr().out
