@@ -5,32 +5,28 @@ five groups of six. This ablation sweeps the plane count and measures
 what it buys: guaranteed direct bandwidth scales linearly, and hotspot
 acceptance under overload improves with planes (more direct capacity
 before indirection and blocking kick in).
+
+Runs on the sweep engine: the grid in
+``repro.experiments.library.ABLATION_AWGR_PLANES`` replaces the old
+hand-rolled plane loop.
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.network.simulator import AWGRNetworkSimulator
-from repro.network.traffic import Flow
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _sweep():
-    rows = []
-    for planes in (2, 3, 5, 8):
-        sim = AWGRNetworkSimulator(n_nodes=16, planes=planes,
-                                   flows_per_wavelength=1, rng_seed=4)
-        # Four sources each push six wavelength-sized flows at node 0.
-        batch = [Flow(src, 0, gbps=25.0)
-                 for src in (1, 2, 3, 4) for _ in range(6)]
-        report = sim.run([batch], duration_slots=4)
-        rows.append({
-            "planes": planes,
-            "direct_pair_gbps": planes * 25.0,
-            "acceptance": report.acceptance_ratio,
-            "indirect_fraction": report.indirect_fraction,
-            "blocked": report.blocked,
-        })
-    return rows
+    result = SweepRunner(workers=1).run(
+        get_experiment("ablation_awgr_planes"))
+    return [{
+        "planes": row["planes"],
+        "direct_pair_gbps": row["planes"] * 25.0,
+        "acceptance": row["acceptance_ratio"],
+        "indirect_fraction": row["indirect_fraction"],
+        "blocked": row["blocked"],
+    } for row in result.rows()]
 
 
 def test_ablation_awgr_planes(benchmark):

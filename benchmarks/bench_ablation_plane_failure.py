@@ -4,36 +4,29 @@ The fabric has six parallel AWGRs; losing one is a realistic failure
 (laser bank, connector). Because every pair keeps one wavelength per
 surviving plane and indirect routing pools the slack, capacity
 degrades proportionally instead of partitioning the rack.
+
+Runs on the sweep engine: the grid in
+``repro.experiments.library.ABLATION_PLANE_FAILURE`` replaces the old
+hand-rolled failure loop. (For *mid-run* failures and recovery, see
+the scenario engine's diurnal study in ``bench_scenario_diurnal.py``.)
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.network.simulator import AWGRNetworkSimulator
-from repro.network.traffic import Flow, uniform_traffic
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _sweep():
-    rows = []
-    for failed in (0, 1, 2):
-        sim = AWGRNetworkSimulator(n_nodes=16, planes=5,
-                                   flows_per_wavelength=1, rng_seed=13)
-        for plane in range(failed):
-            sim.allocator.fail_plane(plane)
-        batches = []
-        for _ in range(4):
-            batch = uniform_traffic(16, 10, gbps=25.0)
-            batch += [Flow(src, 0, gbps=25.0) for src in (1, 2, 3)]
-            batches.append(batch)
-        report = sim.run(batches, duration_slots=2)
-        rows.append({
-            "failed_planes": failed,
-            "healthy_planes": 5 - failed,
-            "acceptance": report.acceptance_ratio,
-            "indirect_fraction": report.indirect_fraction,
-            "blocked": report.blocked,
-        })
-    return rows
+    result = SweepRunner(workers=1).run(
+        get_experiment("ablation_plane_failure"))
+    return [{
+        "failed_planes": row["failed_planes"],
+        "healthy_planes": 5 - row["failed_planes"],
+        "acceptance": row["acceptance_ratio"],
+        "indirect_fraction": row["indirect_fraction"],
+        "blocked": row["blocked"],
+    } for row in result.rows()]
 
 
 def test_ablation_plane_failure(benchmark):

@@ -4,25 +4,22 @@ Case (A): six parallel 370-port AWGRs give every MCM pair at least
 five direct 25 Gbps wavelengths (125 Gbps guaranteed).
 Case (B): eleven 256-port wave-selective switches, staggered, give
 every MCM pair at least three direct switch paths.
+
+Runs on the sweep engine:
+``repro.experiments.library.FIG5_CONNECTIVITY`` replaces the old
+hand-rolled build-and-verify body.
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_kv
-from repro.rack.design import plan_awgr_fabric, plan_wss_fabric
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _build_and_verify():
-    awgr = plan_awgr_fabric()
-    wss = plan_wss_fabric()
-    return {
-        "awgr_planes": awgr.planes,
-        "awgr_min_direct_wavelengths": awgr.min_direct_wavelengths(),
-        "awgr_guaranteed_pair_gbps": awgr.guaranteed_pair_gbps(),
-        "wss_switches": wss.n_switches,
-        "wss_min_direct_paths": wss.min_direct_paths(),
-        "wss_max_ports_per_mcm": int(wss.ports_per_mcm().max()),
-    }
+    result = SweepRunner(workers=1).run(
+        get_experiment("fig5_connectivity"))
+    return result.rows()[0]
 
 
 def test_fig5_connectivity(benchmark):

@@ -1,0 +1,113 @@
+"""Scenario-engine walkthrough.
+
+Four stops:
+
+1. run the built-in demo scenario (uniform background + bursty
+   hotspot + mid-run plane failure) on the AWGR backend and watch the
+   per-epoch metric stream;
+2. run the registered *diurnal Cori replay* — §II-A utilization
+   profiles under a day-shaped envelope, with a plane failure at noon
+   — head-to-head on the AWGR and WSS backends;
+3. compose a custom scenario from episode/event parts and replicate
+   it across seeds with a 95% confidence interval;
+4. replay the registered scenario sweep through the result cache and
+   watch the second run come back bit-identical for free.
+
+Run:  python examples/scenario_demo.py
+"""
+
+import tempfile
+
+from repro.analysis.report import render_kv, render_table
+from repro.experiments import ResultCache, SweepRunner, get_experiment
+from repro.scenarios import (
+    Episode,
+    Scenario,
+    ScenarioEvent,
+    ScenarioRunner,
+    demo_scenario,
+    get_scenario,
+    make_backend,
+    run_replicated,
+)
+
+
+def main() -> None:
+    # 1. The demo scenario, epoch by epoch.
+    scenario = demo_scenario()
+    backend = make_backend("awgr", scenario.n_nodes, seed=1)
+    report = ScenarioRunner(scenario, backend).run(seed=1)
+    print(render_table(report.rows(),
+                       title="Demo scenario on AWGR — per-epoch"))
+    print()
+
+    # 2. Diurnal Cori replay with a noon plane failure, both fabrics.
+    rows = []
+    for name in ("awgr", "wss"):
+        diurnal = get_scenario("diurnal_cori")
+        run = ScenarioRunner(
+            diurnal, make_backend(name, diurnal.n_nodes, seed=7)
+        ).run(seed=7)
+        rows.append(run.as_dict())
+    print(render_table(
+        rows, columns=["fabric", "offered_gbps", "carried_gbps",
+                       "blocked_gbps", "indirect_fraction",
+                       "slowdown_p50", "slowdown_p99"],
+        title="Diurnal Cori replay + noon plane failure"))
+    print()
+
+    # 3. Compose your own: a ramping GPU collective that collides with
+    # a checkpoint hotspot while a plane is dark, multi-seed with CI.
+    custom = Scenario(
+        name="custom_burst",
+        n_nodes=12,
+        n_epochs=10,
+        episodes=(
+            Episode(kind="uniform",
+                    flows={"dist": "poisson", "mean": 8}, gbps=25.0),
+            Episode(kind="collective", start=2, gbps=75.0,
+                    envelope={"kind": "ramp", "start": 0.3, "end": 1.0},
+                    params={"nodes": [0, 1, 2, 3]}),
+            Episode(kind="hotspot", start=5, duration=3,
+                    flows={"dist": "pareto", "minimum": 10,
+                           "alpha": 1.5},
+                    gbps=25.0, params={"hotspot": 11}),
+        ),
+        events=(
+            ScenarioEvent(epoch=4, action="fail_plane", value=0),
+            ScenarioEvent(epoch=8, action="repair_plane", value=0),
+        ))
+    ci = run_replicated(
+        custom, lambda seed: make_backend("awgr", custom.n_nodes,
+                                          seed=seed),
+        repeats=5, base_seed=100)
+    print(render_table(
+        [{"metric": metric, **values} for metric, values in ci.items()
+         if metric in ("throughput_ratio", "indirect_fraction",
+                       "blocked_gbps", "slowdown_p99")],
+        title="Custom scenario on AWGR — 5 seeds, mean and 95% CI"))
+    print()
+
+    # 4. Scenario grids are ordinary experiments: cached, parallel.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = SweepRunner(workers=1, cache=ResultCache(cache_dir))
+        spec = get_experiment("scenario_diurnal_cori")
+        first = runner.run(spec)
+        second = runner.run(spec)
+        assert second.rows() == first.rows()
+        print(render_kv({
+            "first run": first.summary(),
+            "replay": second.summary(),
+        }, title="Registered scenario sweep through the result cache"))
+
+    print("\nReading: the AWGR fabric absorbs the noon plane failure "
+          "by leaning on indirect routing (nonzero indirect fraction, "
+          "p99 slowdown ~3 hops) while the WSS fabric's centrally "
+          "scheduled configuration lags the shifting demand and "
+          "blocks more bandwidth outright. Scenario runs cache and "
+          "replay bit-identically, so grids over scenarios iterate "
+          "for free.")
+
+
+if __name__ == "__main__":
+    main()

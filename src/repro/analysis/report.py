@@ -94,6 +94,35 @@ def aggregate_rows(rows: list[dict], by: str,
     return out
 
 
+def aggregate_ci(rows: list[dict], by: str, metrics: list[str],
+                 confidence: float = 0.95) -> list[dict]:
+    """Group sweep rows by one config column and reduce each metric to
+    a mean with a normal-approximation CI — the multi-seed / repeats
+    summary view (see :func:`repro.analysis.stats.mean_ci`)."""
+    from repro.analysis.stats import mean_ci
+
+    if not rows:
+        raise ValueError("no rows to aggregate")
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault(row.get(by), []).append(row)
+    out = []
+    for key, members in groups.items():
+        entry: dict = {by: key, "n": len(members)}
+        for metric in metrics:
+            values = [m[metric] for m in members
+                      if isinstance(m.get(metric), (int, float))
+                      and not isinstance(m.get(metric), bool)]
+            if not values:
+                continue
+            ci = mean_ci(values, confidence)
+            entry[f"{metric}_mean"] = ci["mean"]
+            entry[f"{metric}_ci_low"] = ci["ci_low"]
+            entry[f"{metric}_ci_high"] = ci["ci_high"]
+        out.append(entry)
+    return out
+
+
 def render_sweep(sweep_result, columns: list[str] | None = None,
                  precision: int = 3) -> str:
     """Render a sweep result as a table plus its one-line summary."""

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 
@@ -44,3 +46,33 @@ def quantiles(values, qs=(0.5, 0.75, 0.95, 0.99)) -> dict[float, float]:
     if arr.size == 0:
         raise ValueError("cannot take quantiles of empty input")
     return {float(q): float(np.quantile(arr, q)) for q in qs}
+
+
+def mean_ci(values, confidence: float = 0.95) -> dict[str, float]:
+    """Mean with a normal-approximation confidence interval.
+
+    The half-width is ``z * s / sqrt(n)`` with the sample standard
+    deviation (``ddof=1``); a single observation yields a zero-width
+    interval. This is the cross-seed summary the multi-repeat sweeps
+    and scenario runs report.
+    """
+    from scipy import stats as sstats
+
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize empty input")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    n = int(arr.size)
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if n > 1 else 0.0
+    z = float(sstats.norm.ppf(0.5 + confidence / 2.0))
+    half = z * std / math.sqrt(n)
+    return {
+        "n": float(n),
+        "mean": mean,
+        "std": std,
+        "ci_low": mean - half,
+        "ci_high": mean + half,
+        "half_width": half,
+    }

@@ -211,6 +211,58 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     print(render_sweep(result))
 
 
+def _cmd_scenario(args: argparse.Namespace) -> None:
+    from repro.analysis.report import render_kv, render_table
+    from repro.scenarios import (
+        SCENARIOS,
+        ScenarioRunner,
+        demo_scenario,
+        get_scenario,
+        make_backend,
+        run_replicated,
+    )
+    if args.list or (not args.scenario and not args.demo):
+        rows = [{"scenario": s.name, "nodes": s.n_nodes,
+                 "epochs": s.n_epochs, "events": len(s.events),
+                 "description": s.description}
+                for s in SCENARIOS.values()]
+        print(render_table(rows, title="Registered scenarios"))
+        if not args.scenario and not args.demo and not args.list:
+            raise SystemExit(
+                "scenario: name a scenario or use --demo / --list")
+        return
+    if args.demo:
+        scenario = demo_scenario()
+    else:
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as exc:
+            raise SystemExit(f"scenario: {exc.args[0]}") from None
+    if args.epochs is not None:
+        if args.epochs < 1:
+            raise SystemExit("scenario: --epochs must be >= 1")
+        scenario = scenario.with_epochs(args.epochs)
+    title = f"Scenario '{scenario.name}' on {args.backend}"
+    if args.repeats > 1:
+        metrics = run_replicated(
+            scenario,
+            lambda seed: make_backend(args.backend, scenario.n_nodes,
+                                      seed=seed),
+            repeats=args.repeats, base_seed=args.seed)
+        rows = [{"metric": name, **ci}
+                for name, ci in metrics.items()]
+        print(render_table(
+            rows, title=f"{title} — {args.repeats} seeds, "
+                        "mean and 95% CI"))
+        return
+    backend = make_backend(args.backend, scenario.n_nodes,
+                           seed=args.seed)
+    report = ScenarioRunner(scenario, backend).run(seed=args.seed)
+    print(render_table(report.rows(), title=f"{title} — per-epoch"))
+    print()
+    print(render_kv(report.as_dict(), title="Aggregate"))
+
+
 _COMMANDS = {
     "table1": (_cmd_table1, "Table I link technologies"),
     "table2": (_cmd_table2, "Table II switch catalog"),
@@ -230,6 +282,8 @@ _COMMANDS = {
     "claims": (_cmd_claims, "validate the paper-claims ledger"),
     "sweep": (_cmd_sweep, "run a registered parameter sweep (cached, "
                           "parallel)"),
+    "scenario": (_cmd_scenario, "drive a fabric through a time-varying "
+                                "workload scenario"),
 }
 
 #: Order used by `repro all` (paper order).
@@ -280,6 +334,25 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--force", action="store_true",
                            help="ignore cached results but refresh "
                                 "them")
+        if name == "scenario":
+            p.add_argument("scenario", nargs="?",
+                           help="registered scenario name "
+                                "(see --list)")
+            p.add_argument("--backend", default="awgr",
+                           choices=("awgr", "wss", "electronic"),
+                           help="fabric backend to drive "
+                                "(default: awgr)")
+            p.add_argument("--epochs", type=int, default=None,
+                           help="override the scenario's epoch count")
+            p.add_argument("--seed", type=int, default=0,
+                           help="base RNG seed (default: 0)")
+            p.add_argument("--repeats", type=int, default=1,
+                           help="run N seeds and report mean with a "
+                                "95%% CI (default: 1)")
+            p.add_argument("--demo", action="store_true",
+                           help="run the small built-in demo scenario")
+            p.add_argument("--list", action="store_true",
+                           help="list registered scenarios and exit")
     sub.add_parser("all", help="run every experiment in paper order")
     return parser
 

@@ -54,10 +54,24 @@ def decode_metrics(payload: str) -> dict:
 
 
 class ResultCache:
-    """Directory-backed task-result cache."""
+    """Directory-backed task-result cache.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    Parameters
+    ----------
+    root:
+        Cache directory (created if missing).
+    max_entries:
+        Optional size cap. When set, storing a new entry evicts the
+        least-recently-used files (by mtime — loads touch their entry)
+        until the cap holds. ``None`` (default) means unbounded.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.root = Path(root)
+        self.max_entries = max_entries
         self.root.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, task: SweepTask) -> Path:
@@ -82,6 +96,10 @@ class ResultCache:
                     encode_metrics(dict(task.config)))
                 or entry.get("seed") != task.seed):
             return None
+        try:
+            os.utime(path)  # mark recently used for LRU eviction
+        except OSError:
+            pass
         return entry["metrics"]
 
     def store(self, task: SweepTask, metrics: dict) -> Path:
@@ -104,7 +122,20 @@ class ResultCache:
         except BaseException:
             os.unlink(tmp)
             raise
+        self._evict()
         return path
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return
+        entries = sorted(self.root.glob("*.json"),
+                         key=lambda p: p.stat().st_mtime_ns)
+        for path in entries[:max(0, len(entries) - self.max_entries)]:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
 
     def clear(self) -> int:
         """Delete every cache entry; returns how many were removed."""

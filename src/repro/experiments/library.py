@@ -81,6 +81,100 @@ INDIRECT_ROUTING = ExperimentSpec(
            "duration_slots": 3})
 
 
+# -- AWGR plane-count and plane-failure ablations ------------------------------
+
+def awgr_planes_task(config: dict, seed: int) -> SimulationReport:
+    """Hotspot overload at one plane count (plane-count ablation)."""
+    sim = AWGRNetworkSimulator(
+        n_nodes=config["n_nodes"], planes=config["planes"],
+        flows_per_wavelength=1, rng_seed=config["rng_seed"])
+    batch = [Flow(src, 0, gbps=25.0)
+             for src in (1, 2, 3, 4)
+             for _ in range(config["hotspot_flows"])]
+    return sim.run([batch], duration_slots=config["duration_slots"])
+
+
+ABLATION_AWGR_PLANES = ExperimentSpec(
+    name="ablation_awgr_planes",
+    description="ablation: AWGR plane count vs hotspot acceptance",
+    factory=awgr_planes_task,
+    metrics=report_metrics,
+    grid={"planes": (2, 3, 5, 8)},
+    fixed={"n_nodes": 16, "rng_seed": 4, "hotspot_flows": 6,
+           "duration_slots": 4})
+
+
+def plane_failure_task(config: dict, seed: int) -> SimulationReport:
+    """Uniform + hotspot load with N planes failed at the start."""
+    sim = AWGRNetworkSimulator(
+        n_nodes=config["n_nodes"], planes=config["planes"],
+        flows_per_wavelength=1, rng_seed=config["rng_seed"])
+    for plane in range(config["failed_planes"]):
+        sim.allocator.fail_plane(plane)
+    batches = []
+    for _ in range(config["n_batches"]):
+        batch = uniform_traffic(config["n_nodes"],
+                                config["uniform_flows"], gbps=25.0)
+        batch += [Flow(src, 0, gbps=25.0) for src in (1, 2, 3)]
+        batches.append(batch)
+    return sim.run(batches, duration_slots=config["duration_slots"])
+
+
+ABLATION_PLANE_FAILURE = ExperimentSpec(
+    name="ablation_plane_failure",
+    description="ablation: graceful degradation under AWGR plane "
+                "failures",
+    factory=plane_failure_task,
+    metrics=report_metrics,
+    grid={"failed_planes": (0, 1, 2)},
+    fixed={"n_nodes": 16, "planes": 5, "rng_seed": 13, "n_batches": 4,
+           "uniform_flows": 10, "duration_slots": 2})
+
+
+# -- structural replays (Fig. 5 and §VI-C) -------------------------------------
+
+def fig5_connectivity_task(config: dict, seed: int) -> dict:
+    """Build both fabric plans and report connectivity invariants."""
+    from repro.rack.design import plan_awgr_fabric, plan_wss_fabric
+
+    awgr = plan_awgr_fabric()
+    wss = plan_wss_fabric()
+    return {
+        "awgr_planes": awgr.planes,
+        "awgr_min_direct_wavelengths": awgr.min_direct_wavelengths(),
+        "awgr_guaranteed_pair_gbps": awgr.guaranteed_pair_gbps(),
+        "wss_switches": wss.n_switches,
+        "wss_min_direct_paths": wss.min_direct_paths(),
+        "wss_max_ports_per_mcm": int(wss.ports_per_mcm().max()),
+    }
+
+
+FIG5_CONNECTIVITY = ExperimentSpec(
+    name="fig5_connectivity",
+    description="Fig. 5 / §V-B: fabric connectivity invariants",
+    factory=fig5_connectivity_task,
+    metrics=identity_metrics)
+
+
+def power_overhead_task(config: dict, seed: int) -> dict:
+    """§VI-C photonic power overhead arithmetic."""
+    from repro.core.power import rack_power_overhead
+
+    result = rack_power_overhead()
+    return {
+        "photonic_w": result.photonic_w,
+        "compute_w": result.compute_w,
+        "overhead_fraction": result.overhead_fraction,
+    }
+
+
+POWER_OVERHEAD = ExperimentSpec(
+    name="power_overhead",
+    description="§VI-C: photonic power overhead vs rack compute",
+    factory=power_overhead_task,
+    metrics=identity_metrics)
+
+
 # -- placement bandwidth (§VI-A, empirical) ----------------------------------
 
 def placement_bandwidth_task(config: dict, seed: int) -> dict:
@@ -213,8 +307,51 @@ ISOPERF = ExperimentSpec(
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in (ABLATION_STALENESS, INDIRECT_ROUTING,
+                 ABLATION_AWGR_PLANES, ABLATION_PLANE_FAILURE,
+                 FIG5_CONNECTIVITY, POWER_OVERHEAD,
                  PLACEMENT_BANDWIDTH, CASE_A_VS_CASE_B, ISOPERF)
 }
+
+# -- scenario sweeps (time-varying workloads, repro.scenarios) ----------------
+#
+# The scenario package never imports repro.experiments (dependency is
+# one-directional), so its sweeps are declared and registered here.
+# Both pin rng_seed in config: their metrics replay bit-identically
+# from the result cache.
+
+from repro.scenarios.library import (  # noqa: E402
+    diurnal_cori_scenario,
+    reconfig_lag_scenario,
+    scenario_metrics,
+    scenario_task,
+)
+
+SCENARIO_DIURNAL = ExperimentSpec(
+    name="scenario_diurnal_cori",
+    description="scenario: diurnal Cori replay + noon plane failure, "
+                "AWGR vs WSS",
+    factory=scenario_task,
+    metrics=scenario_metrics,
+    grid={"backend": ("awgr", "wss")},
+    fixed={"scenario": diurnal_cori_scenario().to_config(),
+           "rng_seed": 7})
+
+SCENARIO_RECONFIG_LAG = ExperimentSpec(
+    name="scenario_reconfig_lag",
+    description="scenario: WSS scheduler-lag transient vs reconfig "
+                "period",
+    factory=scenario_task,
+    metrics=scenario_metrics,
+    grid={"reconfig_period": (1, 4, 16)},
+    fixed={"scenario": reconfig_lag_scenario().to_config(),
+           "backend": "wss", "rng_seed": 3})
+
+SCENARIO_EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (SCENARIO_DIURNAL, SCENARIO_RECONFIG_LAG)
+}
+
+EXPERIMENTS.update(SCENARIO_EXPERIMENTS)
 
 
 def get_experiment(name: str) -> ExperimentSpec:

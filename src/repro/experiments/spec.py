@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 
@@ -142,6 +142,26 @@ class ExperimentSpec:
             config.update(zip(names, combo))
             out.append(config)
         return out
+
+    def repeated(self, repeats: int, axis: str = "repeat"
+                 ) -> "ExperimentSpec":
+        """Fan the spec out across ``repeats`` seeded replications.
+
+        Adds a ``repeat`` grid axis with values ``0..repeats-1``; each
+        value is stirred into the task's derived seed (equivalent to
+        running the sweep at ``base_seed + i``), so factories that
+        consume their ``seed`` argument resample per repeat while the
+        rest of the config stays fixed. Aggregate the resulting rows
+        with :func:`repro.analysis.report.aggregate_ci` /
+        :func:`repro.analysis.stats.mean_ci`.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if axis in self.grid or axis in self.fixed:
+            raise ValueError(f"axis {axis!r} already used by the spec")
+        grid = dict(self.grid)
+        grid[axis] = tuple(range(repeats))
+        return replace(self, grid=grid)
 
     def tasks(self) -> list[SweepTask]:
         """Materialize the sweep's task list with derived seeds."""

@@ -188,3 +188,35 @@ class AWGRNetworkSimulator:
         for (_, _, decision) in self._active:
             self.router.release(decision)
         self._active.clear()
+
+    # -- failure injection ---------------------------------------------------------
+
+    def fail_plane(self, plane: int) -> int:
+        """Take a plane out of service mid-run (device failure).
+
+        Active flows with any reservation on the failed plane are
+        dropped — their surviving-plane reservations are released so
+        capacity accounting stays exact (the allocator already zeroes
+        the failed plane's occupancy). Returns how many flows were
+        dropped; callers model their retry as fresh offers.
+        """
+        self.allocator.fail_plane(plane)
+        survivors = []
+        dropped = 0
+        for (expiry, flow, decision) in self._active:
+            planes_used = {p for (_, _, used) in decision.reservations
+                           for p in used}
+            if plane in planes_used:
+                dropped += 1
+                for (a, b, used) in decision.reservations:
+                    live = [p for p in used if p != plane]
+                    if live:
+                        self.allocator.release(a, b, live)
+            else:
+                survivors.append((expiry, flow, decision))
+        self._active = survivors
+        return dropped
+
+    def repair_plane(self, plane: int) -> None:
+        """Return a failed plane to service."""
+        self.allocator.repair_plane(plane)

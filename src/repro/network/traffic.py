@@ -12,6 +12,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: Accepted wherever a generator is needed: an existing ``Generator``,
+#: a plain int seed (JSON-serializable, so sweep/scenario configs can
+#: carry it through the result cache's stable hashing), or ``None``
+#: for the historical default of ``default_rng(0)``.
+SeedLike = np.random.Generator | int | None
+
+
+def as_generator(rng: SeedLike) -> np.random.Generator:
+    """Coerce a seed-like value to a ``numpy`` ``Generator``."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(0 if rng is None else rng)
+
 
 @dataclass(frozen=True)
 class Flow:
@@ -44,9 +57,9 @@ class Flow:
 
 
 def uniform_traffic(n_nodes: int, n_flows: int, gbps: float = 25.0,
-                    rng: np.random.Generator | None = None) -> list[Flow]:
+                    rng: SeedLike = None) -> list[Flow]:
     """Uniform-random pairs, fixed per-flow load."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = as_generator(rng)
     flows = []
     for _ in range(n_flows):
         src = int(rng.integers(n_nodes))
@@ -59,10 +72,10 @@ def uniform_traffic(n_nodes: int, n_flows: int, gbps: float = 25.0,
 
 def hotspot_traffic(n_nodes: int, hotspot: int, n_flows: int,
                     gbps: float = 25.0,
-                    rng: np.random.Generator | None = None) -> list[Flow]:
+                    rng: SeedLike = None) -> list[Flow]:
     """Many sources converge on one destination (worst case for direct
     wavelengths; exercises indirect routing)."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = as_generator(rng)
     if not 0 <= hotspot < n_nodes:
         raise ValueError("hotspot index out of range")
     flows = []
@@ -76,7 +89,7 @@ def hotspot_traffic(n_nodes: int, hotspot: int, n_flows: int,
 
 def cpu_memory_traffic(cpu_nodes: list[int], memory_nodes: list[int],
                        demand_gbps: np.ndarray | None = None,
-                       rng: np.random.Generator | None = None,
+                       rng: SeedLike = None,
                        p99_gbps: float = 125.0,
                        median_gbps: float = 3.7) -> list[Flow]:
     """CPU <-> DDR4 flows with a production-like heavy-tailed demand.
@@ -87,7 +100,7 @@ def cpu_memory_traffic(cpu_nodes: list[int], memory_nodes: list[int],
     0.46 GB/s three-quarters figure of §II-A), unless explicit demands
     are given.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = as_generator(rng)
     if not cpu_nodes or not memory_nodes:
         raise ValueError("need at least one CPU and one memory node")
     n = len(cpu_nodes)

@@ -1,0 +1,91 @@
+"""Time-varying scenario engine for the fabric simulators.
+
+The static ``flow_batches`` the simulators were built around cannot
+express how a disaggregated rack behaves under *production* load —
+time-varying utilization (§II-A Cori profiles), failure transients, or
+reconfiguration lag. This package turns composable workload
+descriptions into dynamic, per-epoch flow batches and drives any
+fabric through them:
+
+* :class:`~repro.scenarios.episodes.Episode` — one phase of traffic
+  (uniform, hotspot, cpu-mem, gpu-hbm, collective, cori-replay) with
+  an intensity envelope (constant / ramp / diurnal / burst) and
+  heavy-tailed flow-count samplers (fixed / Poisson / lognormal /
+  Pareto);
+* :class:`~repro.scenarios.scenario.Scenario` — episodes plus scripted
+  :class:`~repro.scenarios.scenario.ScenarioEvent` interventions
+  (plane failure/repair, reconfiguration lag) on a discrete epoch
+  clock, JSON round-trippable for cache-stable sweep configs;
+* :class:`~repro.scenarios.backends.FabricBackend` — the
+  ``step(flows) -> EpochReport`` protocol adapting
+  ``AWGRNetworkSimulator``, the WSS fabric, and the electronic
+  comparator behind one interface;
+* :class:`~repro.scenarios.runner.ScenarioRunner` — plays a scenario
+  against a backend, streaming per-epoch metrics (accepted / blocked
+  Gbps, indirect-route fraction, p50/p99 per-flow slowdown) and
+  aggregating them for :mod:`repro.analysis`;
+* :mod:`repro.scenarios.library` — registered scenarios (diurnal Cori
+  replay with a noon plane failure, reconfiguration-lag transients)
+  and their :class:`~repro.experiments.spec.ExperimentSpec` bindings,
+  so ``repro sweep`` and the result cache work unchanged.
+
+Entry points: ``python -m repro scenario`` and
+``examples/scenario_demo.py``.
+"""
+
+from repro.scenarios.backends import (
+    BACKENDS,
+    AWGRBackend,
+    ElectronicBackend,
+    EpochReport,
+    FabricBackend,
+    WSSBackend,
+    make_backend,
+)
+from repro.scenarios.episodes import (
+    EPISODE_KINDS,
+    Episode,
+    envelope_value,
+    sample_count,
+)
+from repro.scenarios.library import (
+    SCENARIOS,
+    demo_scenario,
+    diurnal_cori_scenario,
+    get_scenario,
+    reconfig_lag_scenario,
+    scenario_metrics,
+    scenario_task,
+)
+from repro.scenarios.runner import (
+    ScenarioReport,
+    ScenarioRunner,
+    run_replicated,
+)
+from repro.scenarios.scenario import Scenario, ScenarioEvent
+
+__all__ = [
+    "AWGRBackend",
+    "BACKENDS",
+    "ElectronicBackend",
+    "EPISODE_KINDS",
+    "Episode",
+    "EpochReport",
+    "FabricBackend",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "WSSBackend",
+    "demo_scenario",
+    "diurnal_cori_scenario",
+    "envelope_value",
+    "get_scenario",
+    "make_backend",
+    "reconfig_lag_scenario",
+    "run_replicated",
+    "sample_count",
+    "scenario_metrics",
+    "scenario_task",
+]

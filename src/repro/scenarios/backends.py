@@ -1,0 +1,331 @@
+"""Fabric backends: one epoch-step interface over every simulator.
+
+The scenario engine drives fabrics through the :class:`FabricBackend`
+protocol — ``step(flows) -> EpochReport`` plus an event hook — so one
+scenario runs unchanged against the paper's case (A) AWGR fabric
+(:class:`~repro.network.simulator.AWGRNetworkSimulator`), the case (B)
+reconfigurable WSS fabric (the per-slot logic of
+:class:`~repro.network.wss_simulator.WSSNetworkSimulator`), or the
+§VI-D electronic comparator
+(:class:`~repro.network.electronic.ElectronicSwitch`).
+
+Per-flow *slowdown* is the backend-appropriate service stretch:
+
+* AWGR — photonic hops taken (1.0 direct, 2.0 one intermediate, 3.0
+  stale-state fallback): indirection spends extra wavelength capacity
+  and serialization on the same bytes;
+* WSS — offered/served ratio of the flow's (src, dst) pair under the
+  current switch configuration and reconfiguration downtime;
+* electronic — offered/served ratio under per-endpoint lane caps.
+
+Blocked flows (no capacity / zero configured service) are excluded
+from the slowdown distribution and accounted as blocked Gbps instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.network.electronic import (
+    ELECTRONIC_CATALOG,
+    electronic_disaggregation_latency_ns,
+)
+from repro.network.reconfig import ReconfigurableFabric, SwitchConfiguration
+from repro.network.routing import RouteKind
+from repro.network.simulator import AWGRNetworkSimulator
+from repro.network.traffic import Flow
+from repro.network.wss_simulator import WSSNetworkSimulator
+from repro.scenarios.scenario import ScenarioEvent
+
+#: Names accepted by :func:`make_backend`.
+BACKENDS = ("awgr", "wss", "electronic")
+
+
+@dataclass
+class EpochReport:
+    """What one fabric epoch did with one flow batch."""
+
+    epoch: int
+    offered: int = 0
+    carried: int = 0
+    blocked: int = 0
+    indirect: int = 0
+    offered_gbps: float = 0.0
+    carried_gbps: float = 0.0
+    slowdowns: list[float] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def blocked_gbps(self) -> float:
+        """Offered bandwidth the fabric could not carry this epoch."""
+        return max(0.0, self.offered_gbps - self.carried_gbps)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of offered flows carried (1.0 when idle)."""
+        return self.carried / self.offered if self.offered else 1.0
+
+    @property
+    def indirect_fraction(self) -> float:
+        """Fraction of carried flows that needed any indirection."""
+        return self.indirect / self.carried if self.carried else 0.0
+
+    def as_row(self) -> dict:
+        """Flat per-epoch row for tables and streaming metrics."""
+        return {
+            "epoch": self.epoch,
+            "offered": self.offered,
+            "carried": self.carried,
+            "blocked": self.blocked,
+            "offered_gbps": self.offered_gbps,
+            "carried_gbps": self.carried_gbps,
+            "blocked_gbps": self.blocked_gbps,
+            "indirect_fraction": self.indirect_fraction,
+            **self.extras,
+        }
+
+
+@runtime_checkable
+class FabricBackend(Protocol):
+    """Anything the scenario runner can drive through epochs."""
+
+    name: str
+
+    def step(self, flows: list[Flow]) -> EpochReport:
+        """Serve one epoch's flow batch and report what happened."""
+        ...
+
+    def apply_event(self, event: ScenarioEvent) -> bool:
+        """Apply a scripted event; return False if unsupported."""
+        ...
+
+
+@dataclass
+class AWGRBackend:
+    """Case (A): passive AWGR planes + distributed indirect routing.
+
+    Events: "fail_plane" / "repair_plane" with the plane index as
+    ``value`` (active flows riding a failed plane are dropped, exactly
+    as :meth:`~repro.network.wavelength.WavelengthAllocator.fail_plane`
+    models).
+    """
+
+    n_nodes: int
+    planes: int = 5
+    flows_per_wavelength: int = 1
+    gbps_per_wavelength: float = 25.0
+    state_update_period: int = 1
+    #: Epochs a flow stays resident once admitted. The default of 2
+    #: makes consecutive epochs overlap on the wavelengths, so
+    #: sustained per-pair load exhausts direct capacity and exercises
+    #: indirection the way long-lived production flows do.
+    duration_slots: int = 2
+    rng_seed: int = 0
+    name: str = "awgr"
+
+    def __post_init__(self) -> None:
+        self.sim = AWGRNetworkSimulator(
+            n_nodes=self.n_nodes, planes=self.planes,
+            flows_per_wavelength=self.flows_per_wavelength,
+            gbps_per_wavelength=self.gbps_per_wavelength,
+            state_update_period=self.state_update_period,
+            rng_seed=self.rng_seed)
+        self._epoch = 0
+
+    def step(self, flows: list[Flow]) -> EpochReport:
+        report = EpochReport(epoch=self._epoch)
+        for flow in flows:
+            decision = self.sim.offer(flow, self.duration_slots)
+            report.offered += 1
+            report.offered_gbps += flow.gbps
+            if decision.kind is RouteKind.BLOCKED:
+                report.blocked += 1
+                continue
+            report.carried += 1
+            report.carried_gbps += flow.gbps
+            if decision.kind is not RouteKind.DIRECT:
+                report.indirect += 1
+            report.slowdowns.append(float(decision.hops))
+        self.sim.step()
+        report.extras["healthy_planes"] = (
+            self.sim.allocator.healthy_planes)
+        self._epoch += 1
+        return report
+
+    def apply_event(self, event: ScenarioEvent) -> bool:
+        failed = self.sim.allocator.failed_planes
+        if event.action == "fail_plane":
+            plane = int(event.value)
+            if plane not in failed:  # idempotent within a run
+                self.sim.fail_plane(plane)
+            return True
+        if event.action == "repair_plane":
+            plane = int(event.value)
+            if plane in failed:
+                self.sim.repair_plane(plane)
+            return True
+        return False
+
+
+@dataclass
+class WSSBackend:
+    """Case (B): reconfigurable WSS bank + centralized scheduler.
+
+    The per-epoch logic mirrors one loop iteration of
+    :meth:`~repro.network.wss_simulator.WSSNetworkSimulator.run`, with
+    per-flow service resolved per (src, dst) pair so the runner gets a
+    slowdown distribution. Events: "set_reconfig_period" (slots),
+    "set_reconfig_time" (seconds of reconfiguration lag), and
+    "fail_plane" / "repair_plane" reinterpreted as losing / regaining
+    one parallel WSS switch.
+    """
+
+    n_nodes: int
+    n_switches: int = 5
+    wavelengths_per_port: int = 16
+    gbps_per_wavelength: float = 25.0
+    reconfig_period: int = 1
+    slot_time_s: float = 1.0
+    name: str = "wss"
+
+    def __post_init__(self) -> None:
+        if self.reconfig_period < 1:
+            raise ValueError("reconfig_period must be >= 1")
+        self.fabric = ReconfigurableFabric(
+            n_switches=self.n_switches, radix=self.n_nodes,
+            wavelengths_per_port=self.wavelengths_per_port,
+            gbps_per_wavelength=self.gbps_per_wavelength)
+        self._epoch = 0
+        self._since_reconfig = 0
+
+    def step(self, flows: list[Flow]) -> EpochReport:
+        report = EpochReport(epoch=self._epoch)
+        demand = WSSNetworkSimulator.demand_matrix(flows, self.n_nodes)
+        downtime_fraction = 0.0
+        reconfigured = False
+        if self._since_reconfig % self.reconfig_period == 0:
+            self.fabric.reconfigure(demand)
+            reconfigured = True
+            downtime = (self.fabric.reconfig_time_s
+                        + self.fabric.scheduler_latency_s)
+            downtime_fraction = min(1.0, downtime / self.slot_time_s)
+        configured = sum(
+            cfg.assignment.astype(float) * self.gbps_per_wavelength
+            for cfg in self.fabric.configs)
+        served = (np.minimum(demand, configured)
+                  * (1.0 - downtime_fraction))
+        for flow in flows:
+            report.offered += 1
+            report.offered_gbps += flow.gbps
+            pair_demand = demand[flow.src, flow.dst]
+            fraction = (float(served[flow.src, flow.dst] / pair_demand)
+                        if pair_demand > 0 else 0.0)
+            if fraction <= 0.0:
+                report.blocked += 1
+                continue
+            report.carried += 1
+            report.carried_gbps += flow.gbps * fraction
+            report.slowdowns.append(1.0 / fraction)
+        report.extras["reconfigured"] = reconfigured
+        report.extras["downtime_fraction"] = downtime_fraction
+        report.extras["healthy_switches"] = len(self.fabric.configs)
+        self._epoch += 1
+        self._since_reconfig += 1
+        return report
+
+    def apply_event(self, event: ScenarioEvent) -> bool:
+        fabric = self.fabric
+        if event.action == "set_reconfig_period":
+            period = int(event.value)
+            if period < 1:
+                raise ValueError("reconfig period must be >= 1")
+            self.reconfig_period = period
+            self._since_reconfig = 0
+            return True
+        if event.action == "set_reconfig_time":
+            if event.value < 0:
+                raise ValueError("reconfig time must be >= 0")
+            fabric.reconfig_time_s = float(event.value)
+            return True
+        if event.action == "fail_plane":
+            if len(fabric.configs) <= 1:
+                raise RuntimeError("cannot fail the last WSS switch")
+            fabric.configs.pop()
+            fabric.n_switches -= 1
+            return True
+        if event.action == "repair_plane":
+            fabric.configs.append(SwitchConfiguration(
+                fabric.radix, fabric.wavelengths_per_port))
+            fabric.n_switches += 1
+            return True
+        return False
+
+
+@dataclass
+class ElectronicBackend:
+    """§VI-D comparator: electronic tree with per-endpoint lane caps.
+
+    Every endpoint owns ``lanes_per_endpoint`` lanes of the chosen
+    technology; an epoch serves each flow at the most-congested of its
+    source-egress and destination-ingress caps (max-min style shares
+    are overkill for a comparator — proportional sharing matches the
+    optimistic-for-electronics stance of §VI-D). Latency is reported
+    as an extra, not simulated. Events are not supported.
+    """
+
+    n_nodes: int
+    technology: str = "pcie-gen5"
+    lanes_per_endpoint: int = 8
+    name: str = "electronic"
+
+    def __post_init__(self) -> None:
+        if self.lanes_per_endpoint < 1:
+            raise ValueError("lanes_per_endpoint must be >= 1")
+        switch = ELECTRONIC_CATALOG[self.technology]
+        self.endpoint_gbps = switch.lane_gbps * self.lanes_per_endpoint
+        self.added_latency_ns = electronic_disaggregation_latency_ns(
+            self.technology, endpoints=self.n_nodes)
+        self._epoch = 0
+
+    def step(self, flows: list[Flow]) -> EpochReport:
+        report = EpochReport(epoch=self._epoch)
+        egress = np.zeros(self.n_nodes)
+        ingress = np.zeros(self.n_nodes)
+        for flow in flows:
+            egress[flow.src] += flow.gbps
+            ingress[flow.dst] += flow.gbps
+        for flow in flows:
+            report.offered += 1
+            report.offered_gbps += flow.gbps
+            share = float(min(
+                1.0,
+                self.endpoint_gbps / egress[flow.src],
+                self.endpoint_gbps / ingress[flow.dst]))
+            report.carried += 1
+            report.carried_gbps += flow.gbps * share
+            report.slowdowns.append(1.0 / share)
+        report.extras["added_latency_ns"] = self.added_latency_ns
+        self._epoch += 1
+        return report
+
+    def apply_event(self, event: ScenarioEvent) -> bool:
+        return False
+
+
+def make_backend(name: str, n_nodes: int, seed: int = 0,
+                 **params) -> FabricBackend:
+    """Construct a backend by name with keyword overrides.
+
+    ``seed`` feeds the AWGR backend's router RNG; the other backends
+    are deterministic given their inputs and ignore it.
+    """
+    if name == "awgr":
+        return AWGRBackend(n_nodes=n_nodes, rng_seed=seed, **params)
+    if name == "wss":
+        return WSSBackend(n_nodes=n_nodes, **params)
+    if name == "electronic":
+        return ElectronicBackend(n_nodes=n_nodes, **params)
+    raise KeyError(f"unknown backend {name!r} (known: {BACKENDS})")

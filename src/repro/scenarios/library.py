@@ -1,0 +1,185 @@
+"""Registered scenarios and their sweep-engine task functions.
+
+Scenario *builders* compose the episode/event vocabulary into the
+dynamic workloads the ROADMAP asks for; the :data:`SCENARIOS` registry
+names the canonical instances the CLI serves. :func:`scenario_task` /
+:func:`scenario_metrics` are the module-level factory pair the sweep
+engine fans out over worker processes — the
+:class:`~repro.experiments.spec.ExperimentSpec` grids built on them
+are registered in :mod:`repro.experiments.library` (which imports this
+module; this package deliberately never imports ``repro.experiments``
+so the dependency stays one-directional).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.backends import make_backend
+from repro.scenarios.episodes import Episode
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.scenario import Scenario, ScenarioEvent
+
+#: Flat config keys forwarded to the backend constructor by
+#: :func:`scenario_task` (so sweep grids get clean columns).
+BACKEND_PARAM_KEYS = ("planes", "flows_per_wavelength",
+                      "state_update_period", "duration_slots",
+                      "n_switches", "wavelengths_per_port",
+                      "reconfig_period", "slot_time_s",
+                      "technology", "lanes_per_endpoint")
+
+
+# -- scenario builders ---------------------------------------------------------
+
+def demo_scenario(n_nodes: int = 8, n_epochs: int = 6) -> Scenario:
+    """Small, fast scenario for smoke tests and the CLI ``--demo``."""
+    return Scenario(
+        name="demo",
+        n_nodes=n_nodes,
+        n_epochs=n_epochs,
+        description="uniform background + a bursty hotspot + a "
+                    "mid-run plane failure",
+        episodes=(
+            Episode(kind="uniform", flows={"dist": "poisson", "mean": 6},
+                    gbps=25.0),
+            Episode(kind="hotspot", start=1,
+                    flows={"dist": "pareto", "minimum": 2, "alpha": 1.5},
+                    gbps=25.0,
+                    envelope={"kind": "burst", "period": 3, "duty": 0.4},
+                    params={"hotspot": 0}),
+        ),
+        events=(
+            # Epoch 1, not midway: the CI smoke step truncates the
+            # demo to 3 epochs and must still exercise apply_event.
+            ScenarioEvent(epoch=1, action="fail_plane", value=0),
+        ))
+
+
+def diurnal_cori_scenario(n_nodes: int = 16, n_epochs: int = 24,
+                          failure_epoch: int = 12,
+                          repair_epoch: int = 20) -> Scenario:
+    """Diurnal Cori replay with a mid-run AWGR plane failure.
+
+    One epoch is one hour: CPU->memory demand replays the §II-A Cori
+    memory-bandwidth profile against a *pooled* memory subset (the
+    disaggregation premise — several CPUs share each memory module)
+    under a day-shaped envelope; diurnal uniform chatter rides
+    underneath; a checkpoint burst converges on one I/O node late
+    morning and a GPU collective occupies the afternoon. A fabric
+    plane dies at ``failure_epoch`` (noon — peak load, mid-checkpoint,
+    the worst case) and is repaired at ``repair_epoch``.
+    """
+    cpu_nodes = list(range(n_nodes // 2))
+    mem_nodes = list(range(n_nodes // 2, n_nodes - n_nodes // 4))
+    gpu_nodes = cpu_nodes[:4]
+    io_node = n_nodes - 1
+    return Scenario(
+        name="diurnal_cori",
+        n_nodes=n_nodes,
+        n_epochs=n_epochs,
+        description="diurnal Cori memory-bandwidth replay + checkpoint "
+                    "and collective bursts, with a plane failure at "
+                    "noon",
+        episodes=(
+            Episode(kind="cori-replay",
+                    envelope={"kind": "diurnal", "period": 24,
+                              "low": 0.15, "high": 1.0},
+                    params={"nodes": cpu_nodes,
+                            "memory_nodes": mem_nodes,
+                            "resource": "memory_bandwidth",
+                            "peak_gbps": 1096.0}),
+            Episode(kind="uniform",
+                    flows={"dist": "poisson", "mean": 10},
+                    gbps=25.0,
+                    envelope={"kind": "diurnal", "period": 24,
+                              "low": 0.3, "high": 1.0}),
+            Episode(kind="hotspot", start=10, duration=4,
+                    flows={"dist": "pareto", "minimum": 18,
+                           "alpha": 1.6},
+                    gbps=25.0, params={"hotspot": io_node}),
+            Episode(kind="collective", start=13, duration=6,
+                    gbps=75.0,
+                    params={"nodes": gpu_nodes}),
+        ),
+        events=(
+            ScenarioEvent(epoch=failure_epoch, action="fail_plane",
+                          value=0),
+            ScenarioEvent(epoch=repair_epoch, action="repair_plane",
+                          value=0),
+        ))
+
+
+def reconfig_lag_scenario(n_nodes: int = 12,
+                          n_epochs: int = 12) -> Scenario:
+    """Reconfiguration-lag transient for the WSS backend.
+
+    Steady uniform load plus a hotspot that switches on mid-run; at the
+    same epoch the centralized scheduler's reconfiguration slows to a
+    50 ms lag, modeling a controller under stress — the §IV-B overhead
+    source the paper charges against case (B). Sweeping the backend's
+    ``reconfig_period`` over this scenario trades per-slot downtime
+    (frequent reconfiguration) against stale configurations (rare
+    reconfiguration) around the demand shift.
+    """
+    return Scenario(
+        name="reconfig_lag",
+        n_nodes=n_nodes,
+        n_epochs=n_epochs,
+        description="demand shift meets a slowed central scheduler",
+        episodes=(
+            Episode(kind="uniform",
+                    flows={"dist": "poisson", "mean": 8},
+                    gbps=25.0),
+            Episode(kind="hotspot", start=n_epochs // 2,
+                    flows=6, gbps=25.0, params={"hotspot": 1}),
+        ),
+        events=(
+            ScenarioEvent(epoch=n_epochs // 2,
+                          action="set_reconfig_time", value=0.05),
+        ))
+
+
+#: Canonical instances served by ``repro scenario`` and the tests.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (demo_scenario(), diurnal_cori_scenario(),
+              reconfig_lag_scenario())
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(
+            f"unknown scenario {name!r} (known: {known})") from None
+
+
+# -- sweep-engine bindings -----------------------------------------------------
+
+def scenario_task(config: dict, seed: int):
+    """Sweep factory: one (scenario, backend) run to a ScenarioReport.
+
+    ``config["scenario"]`` is a :meth:`Scenario.to_config` dict (or a
+    registered scenario name), ``config["backend"]`` one of
+    :data:`~repro.scenarios.backends.BACKENDS`; flat backend-parameter
+    keys (:data:`BACKEND_PARAM_KEYS`) pass through to the constructor.
+    ``config["rng_seed"]`` pins the run for bit-identical replays;
+    omit it to let the engine-derived ``seed`` resample per task (the
+    ``repeated()`` multi-seed path).
+    """
+    described = config["scenario"]
+    scenario = (get_scenario(described) if isinstance(described, str)
+                else Scenario.from_config(described))
+    if "n_epochs" in config:
+        scenario = scenario.with_epochs(int(config["n_epochs"]))
+    run_seed = int(config.get("rng_seed", seed))
+    params = {k: config[k] for k in BACKEND_PARAM_KEYS if k in config}
+    backend = make_backend(config["backend"], scenario.n_nodes,
+                           seed=run_seed, **params)
+    return ScenarioRunner(scenario, backend).run(seed=run_seed)
+
+
+def scenario_metrics(report) -> dict:
+    """Aggregate-metrics extraction for scenario sweep tasks."""
+    return report.as_dict()

@@ -1,0 +1,151 @@
+"""Scenario execution: epochs in, streamed metrics out.
+
+:class:`ScenarioRunner` advances a scenario's epoch clock against one
+fabric backend: each epoch it first applies the events scripted for
+that epoch (plane failures, repairs, reconfiguration-lag changes),
+then generates the epoch's flow batch from the active episodes and
+feeds it to the backend. The per-epoch
+:class:`~repro.scenarios.backends.EpochReport` stream accumulates into
+a :class:`ScenarioReport` whose aggregates (accepted / blocked Gbps,
+indirect-route fraction, p50/p99 per-flow slowdown) reduce through
+:mod:`repro.analysis.stats` and flatten to the JSON-stable metrics
+dict the sweep engine caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import mean_ci, quantiles
+from repro.network.traffic import as_generator
+from repro.scenarios.backends import EpochReport, FabricBackend
+from repro.scenarios.scenario import Scenario
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    backend: str
+    epochs: list[EpochReport] = field(default_factory=list)
+    events_applied: int = 0
+    events_ignored: int = 0
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def offered_gbps(self) -> float:
+        """Total offered bandwidth across all epochs."""
+        return sum(e.offered_gbps for e in self.epochs)
+
+    @property
+    def carried_gbps(self) -> float:
+        """Total accepted bandwidth across all epochs."""
+        return sum(e.carried_gbps for e in self.epochs)
+
+    @property
+    def blocked_gbps(self) -> float:
+        """Total offered bandwidth the fabric failed to carry."""
+        return sum(e.blocked_gbps for e in self.epochs)
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Accepted / offered bandwidth over the whole run."""
+        offered = self.offered_gbps
+        return self.carried_gbps / offered if offered > 0 else 1.0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Carried / offered flow count over the whole run."""
+        offered = sum(e.offered for e in self.epochs)
+        carried = sum(e.carried for e in self.epochs)
+        return carried / offered if offered else 1.0
+
+    @property
+    def indirect_fraction(self) -> float:
+        """Carried-flow fraction that needed indirection (AWGR)."""
+        carried = sum(e.carried for e in self.epochs)
+        indirect = sum(e.indirect for e in self.epochs)
+        return indirect / carried if carried else 0.0
+
+    @property
+    def slowdowns(self) -> list[float]:
+        """Per-flow slowdown samples pooled across epochs."""
+        return [s for e in self.epochs for s in e.slowdowns]
+
+    def slowdown_quantiles(self, qs=(0.5, 0.99)) -> dict[float, float]:
+        """p50/p99 (by default) of the per-flow slowdown distribution."""
+        pooled = self.slowdowns
+        if not pooled:
+            return {float(q): 1.0 for q in qs}
+        return quantiles(pooled, qs=qs)
+
+    def as_dict(self) -> dict:
+        """Flat aggregate metrics (sweep-cacheable)."""
+        slow = self.slowdown_quantiles()
+        return {
+            "scenario": self.scenario,
+            "fabric": self.backend,
+            "epochs": len(self.epochs),
+            "offered_gbps": self.offered_gbps,
+            "carried_gbps": self.carried_gbps,
+            "blocked_gbps": self.blocked_gbps,
+            "throughput_ratio": self.throughput_ratio,
+            "acceptance_ratio": self.acceptance_ratio,
+            "indirect_fraction": self.indirect_fraction,
+            "slowdown_p50": slow[0.5],
+            "slowdown_p99": slow[0.99],
+            "events_applied": self.events_applied,
+            "events_ignored": self.events_ignored,
+        }
+
+    def rows(self) -> list[dict]:
+        """Per-epoch table rows (the streaming metrics view)."""
+        return [e.as_row() for e in self.epochs]
+
+
+@dataclass
+class ScenarioRunner:
+    """Drives one scenario through one fabric backend."""
+
+    scenario: Scenario
+    backend: FabricBackend
+
+    def run(self, seed: int = 0) -> ScenarioReport:
+        """Play the scenario end to end and aggregate the epochs."""
+        rng = as_generator(seed)
+        report = ScenarioReport(scenario=self.scenario.name,
+                                backend=self.backend.name)
+        for epoch in range(self.scenario.n_epochs):
+            for event in self.scenario.events_at(epoch):
+                if self.backend.apply_event(event):
+                    report.events_applied += 1
+                else:
+                    report.events_ignored += 1
+            batch = self.scenario.batch(epoch, rng)
+            report.epochs.append(self.backend.step(batch))
+        return report
+
+
+def run_replicated(scenario: Scenario, make_backend_fn, repeats: int,
+                   base_seed: int = 0, confidence: float = 0.95
+                   ) -> dict[str, dict[str, float]]:
+    """Run a scenario ``repeats`` times at seeds ``base_seed + i`` and
+    reduce each aggregate metric to a mean with a normal-approx CI.
+
+    ``make_backend_fn(seed)`` must build a *fresh* backend per repeat
+    (backends are stateful). Returns {metric: mean_ci dict}.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    runs = []
+    for i in range(repeats):
+        seed = base_seed + i
+        backend = make_backend_fn(seed)
+        runs.append(ScenarioRunner(scenario, backend).run(seed=seed)
+                    .as_dict())
+    numeric = [k for k, v in runs[0].items()
+               if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    return {k: mean_ci([r[k] for r in runs], confidence)
+            for k in numeric}

@@ -1,0 +1,125 @@
+"""Scenario model: episodes + events over a discrete epoch clock.
+
+A :class:`Scenario` composes :class:`~repro.scenarios.episodes.Episode`
+phases into one time-varying workload over ``n_epochs`` discrete
+epochs, plus a script of :class:`ScenarioEvent` interventions (plane
+failures, repairs, reconfiguration-lag changes) that the fabric
+backends apply mid-run. Scenarios are pure descriptions — all
+randomness comes from the generator the runner threads through — and
+round-trip losslessly through ``to_config``/``from_config`` so they
+can ride inside :class:`~repro.experiments.spec.ExperimentSpec`
+configs and hash stably into the result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from repro.network.traffic import Flow, as_generator
+from repro.scenarios.episodes import Episode
+
+#: Event actions the backends understand. Unknown actions are carried
+#: (for forward compatibility) but reported as ignored by the runner.
+EVENT_ACTIONS = ("fail_plane", "repair_plane", "set_reconfig_period",
+                 "set_reconfig_time")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scripted intervention, applied before its epoch's traffic.
+
+    Parameters
+    ----------
+    epoch:
+        Epoch at whose start the event fires.
+    action:
+        What to do — "fail_plane" / "repair_plane" (AWGR plane index,
+        or a WSS switch index on that backend), "set_reconfig_period"
+        (slots between scheduler runs), "set_reconfig_time" (seconds
+        one reconfiguration takes, i.e. reconfiguration lag).
+    value:
+        Action argument (plane index, period, or seconds).
+    """
+
+    epoch: int
+    action: str
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("event epoch must be >= 0")
+        if not self.action:
+            raise ValueError("event needs an action")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, composable, time-varying workload description."""
+
+    name: str
+    n_nodes: int
+    n_epochs: int
+    episodes: tuple[Episode, ...]
+    events: tuple[ScenarioEvent, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        if self.n_epochs < 1:
+            raise ValueError("need at least one epoch")
+        if not self.episodes:
+            raise ValueError("scenario needs at least one episode")
+        # Tolerate lists from JSON configs; store as tuples.
+        if not isinstance(self.episodes, tuple):
+            object.__setattr__(self, "episodes", tuple(self.episodes))
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    def with_epochs(self, n_epochs: int) -> "Scenario":
+        """Same scenario on a shorter/longer clock (CLI override).
+
+        Events scripted at or beyond the new horizon never fire.
+        """
+        return replace(self, n_epochs=n_epochs)
+
+    def events_at(self, epoch: int) -> list[ScenarioEvent]:
+        """Events scripted for the start of ``epoch``, in order."""
+        return [e for e in self.events if e.epoch == epoch]
+
+    def batch(self, epoch: int, rng: np.random.Generator) -> list[Flow]:
+        """All active episodes' flows for one epoch, concatenated."""
+        flows: list[Flow] = []
+        for episode in self.episodes:
+            flows.extend(episode.generate(epoch, self.n_epochs,
+                                          self.n_nodes, rng))
+        return flows
+
+    def batches(self, rng) -> list[list[Flow]]:
+        """Materialize every epoch's batch (seed-like or Generator)."""
+        rng = as_generator(rng)
+        return [self.batch(epoch, rng) for epoch in range(self.n_epochs)]
+
+    # -- JSON-stable round trip ------------------------------------------------
+
+    def to_config(self) -> dict:
+        """Plain-dict form, safe for sweep-config hashing and JSON."""
+        return asdict(self)
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Scenario":
+        """Inverse of :meth:`to_config` (accepts JSON-decoded dicts)."""
+        episodes = tuple(
+            ep if isinstance(ep, Episode) else Episode(**ep)
+            for ep in config["episodes"])
+        events = tuple(
+            ev if isinstance(ev, ScenarioEvent) else ScenarioEvent(**ev)
+            for ev in config.get("events", ()))
+        return cls(name=config["name"], n_nodes=int(config["n_nodes"]),
+                   n_epochs=int(config["n_epochs"]), episodes=episodes,
+                   events=events,
+                   description=config.get("description", ""))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.stats import pearson, quantiles, summarize
+from repro.analysis.stats import mean_ci, pearson, quantiles, summarize
 
 
 class TestPearson:
@@ -53,3 +53,35 @@ class TestSummaries:
     def test_quantiles_empty_rejected(self):
         with pytest.raises(ValueError):
             quantiles([])
+
+
+class TestMeanCI:
+    def test_normal_approx_95(self):
+        # n=4, mean=2.5, sample std=sqrt(5/3): half = 1.96*s/2.
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        s = np.std([1.0, 2.0, 3.0, 4.0], ddof=1)
+        assert ci["n"] == 4.0
+        assert ci["mean"] == 2.5
+        assert ci["half_width"] == pytest.approx(1.959964 * s / 2.0,
+                                                 rel=1e-5)
+        assert ci["ci_low"] == pytest.approx(2.5 - ci["half_width"])
+        assert ci["ci_high"] == pytest.approx(2.5 + ci["half_width"])
+
+    def test_single_observation_zero_width(self):
+        ci = mean_ci([3.0])
+        assert ci["mean"] == 3.0
+        assert ci["half_width"] == 0.0
+        assert ci["ci_low"] == ci["ci_high"] == 3.0
+
+    def test_wider_confidence_widens_interval(self):
+        values = [1.0, 2.0, 3.0]
+        assert (mean_ci(values, confidence=0.99)["half_width"]
+                > mean_ci(values, confidence=0.90)["half_width"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.0)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.report import aggregate_rows, render_sweep, sweep_rows
+from repro.analysis.report import (
+    aggregate_ci,
+    aggregate_rows,
+    render_sweep,
+    sweep_rows,
+)
 
 
 class FakeSweep:
@@ -53,6 +58,28 @@ class TestAggregateRows:
     def test_empty_rows_rejected(self):
         with pytest.raises(ValueError):
             aggregate_rows([], by="period", metrics=["acceptance"])
+
+
+class TestAggregateCI:
+    def test_groups_with_confidence_bounds(self):
+        agg = aggregate_ci(ROWS, by="period", metrics=["acceptance"])
+        by_period = {row["period"]: row for row in agg}
+        assert by_period[1]["n"] == 2
+        assert by_period[1]["acceptance_mean"] == pytest.approx(0.9)
+        assert (by_period[1]["acceptance_ci_low"]
+                <= by_period[1]["acceptance_mean"]
+                <= by_period[1]["acceptance_ci_high"])
+        # Single member: zero-width interval.
+        assert by_period[5]["acceptance_ci_low"] == pytest.approx(0.6)
+        assert by_period[5]["acceptance_ci_high"] == pytest.approx(0.6)
+
+    def test_non_numeric_metrics_skipped(self):
+        agg = aggregate_ci(ROWS, by="period", metrics=["label"])
+        assert "label_mean" not in agg[0]
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_ci([], by="period", metrics=["acceptance"])
 
 
 class TestRenderSweep:

@@ -11,7 +11,10 @@ class TestRegistry:
     def test_expected_experiments_registered(self):
         assert {"ablation_staleness", "indirect_routing",
                 "placement_bandwidth", "case_a_vs_case_b",
-                "isoperf"} <= set(EXPERIMENTS)
+                "isoperf", "ablation_awgr_planes",
+                "ablation_plane_failure", "fig5_connectivity",
+                "power_overhead", "scenario_diurnal_cori",
+                "scenario_reconfig_lag"} <= set(EXPERIMENTS)
 
     def test_every_spec_describes_itself(self):
         for spec in EXPERIMENTS.values():
@@ -40,6 +43,35 @@ class TestEquivalenceWithSerialLoops:
         report = sim.run(batches, duration_slots=3)
         for key, value in report.as_dict().items():
             assert row[key] == value, key
+
+    def test_plane_failure_grid_point_matches_direct_run(self):
+        """One sweep task == one iteration of the old failure loop."""
+        spec = get_experiment("ablation_plane_failure")
+        row = SweepRunner(workers=1).run(spec).rows()[1]
+        assert row["failed_planes"] == 1
+        sim = AWGRNetworkSimulator(n_nodes=16, planes=5,
+                                   flows_per_wavelength=1, rng_seed=13)
+        sim.allocator.fail_plane(0)
+        batches = []
+        for _ in range(4):
+            batch = uniform_traffic(16, 10, gbps=25.0)
+            batch += [Flow(src, 0, gbps=25.0) for src in (1, 2, 3)]
+            batches.append(batch)
+        report = sim.run(batches, duration_slots=2)
+        for key, value in report.as_dict().items():
+            assert row[key] == value, key
+
+    def test_awgr_planes_acceptance_monotone(self):
+        rows = SweepRunner(workers=1).run(
+            get_experiment("ablation_awgr_planes")).rows()
+        acceptance = [r["acceptance_ratio"] for r in rows]
+        assert acceptance == sorted(acceptance)
+
+    def test_structural_specs_single_task(self):
+        for name in ("fig5_connectivity", "power_overhead"):
+            rows = SweepRunner(workers=1).run(
+                get_experiment(name)).rows()
+            assert len(rows) == 1
 
     def test_case_sweep_covers_both_fabrics(self):
         rows = SweepRunner(workers=1).run(

@@ -83,6 +83,38 @@ class TestSeeds:
                 == derive_seed("s", 1, 0, {"b": 2, "a": 1}))
 
 
+class TestRepeated:
+    def test_adds_repeat_axis(self):
+        spec = make_spec().repeated(3)
+        assert len(spec) == 9  # 3 x values x 3 repeats
+        repeats = {c["repeat"] for c in spec.configs()}
+        assert repeats == {0, 1, 2}
+
+    def test_each_repeat_gets_its_own_seed(self):
+        spec = make_spec(grid={"x": (1,)}).repeated(4)
+        seeds = [t.seed for t in spec.tasks()]
+        assert len(set(seeds)) == 4
+
+    def test_original_spec_unchanged(self):
+        spec = make_spec()
+        spec.repeated(2)
+        assert "repeat" not in spec.grid
+
+    def test_custom_axis_name(self):
+        spec = make_spec().repeated(2, axis="trial")
+        assert {c["trial"] for c in spec.configs()} == {0, 1}
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            make_spec().repeated(0)
+
+    def test_rejects_colliding_axis(self):
+        with pytest.raises(ValueError):
+            make_spec().repeated(2, axis="x")
+        with pytest.raises(ValueError):
+            make_spec().repeated(2, axis="y")
+
+
 class TestHashing:
     def test_canonical_json_sorts_keys(self):
         assert (canonical_json({"b": 1, "a": 2})

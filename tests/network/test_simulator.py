@@ -39,6 +39,41 @@ class TestAdmission:
         sim.drain()
         assert sim.allocator.utilization() == 0.0
 
+
+class TestMidRunPlaneFailure:
+    def test_fail_plane_drops_riding_flows_only(self):
+        sim = AWGRNetworkSimulator(n_nodes=8, planes=2,
+                                   flows_per_wavelength=1)
+        # Two same-pair flows land on planes 0 and 1 (least-loaded
+        # fill); a third pair rides its own wavelengths.
+        sim.offer(Flow(1, 0, gbps=25.0), duration_slots=10)
+        sim.offer(Flow(1, 0, gbps=25.0), duration_slots=10)
+        sim.offer(Flow(2, 3, gbps=25.0), duration_slots=10)
+        dropped = sim.fail_plane(0)
+        assert dropped == 2  # one of pair (1,0) and one of (2,3)
+        assert sim.allocator.healthy_planes == 1
+
+    def test_fail_plane_releases_survivor_reservations(self):
+        sim = AWGRNetworkSimulator(n_nodes=8, planes=2,
+                                   flows_per_wavelength=1)
+        # Overload one pair so some flows route indirectly and hold
+        # reservations on two hops across both planes.
+        for _ in range(6):
+            sim.offer(Flow(1, 0, gbps=25.0), duration_slots=10)
+        sim.fail_plane(0)
+        sim.repair_plane(0)
+        sim.drain()
+        assert sim.allocator.utilization() == 0.0
+
+    def test_repair_restores_capacity(self):
+        sim = AWGRNetworkSimulator(n_nodes=4, planes=3,
+                                   flows_per_wavelength=1)
+        sim.fail_plane(1)
+        assert sim.allocator.healthy_planes == 2
+        sim.repair_plane(1)
+        assert sim.allocator.healthy_planes == 3
+        assert sim.allocator.free_slots(0, 1) == 3
+
     def test_drain_frees_capacity_for_subsequent_offers(self):
         """After drain(), a previously saturated pair admits direct
         again — the freed slots are really back in the allocator."""

@@ -45,6 +45,18 @@ class TestUniform:
         b = uniform_traffic(10, 20, rng=np.random.default_rng(5))
         assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
 
+    def test_int_seed_matches_generator(self):
+        # Scenario/sweep configs carry plain ints so they stay
+        # JSON-serializable for cache hashing.
+        a = uniform_traffic(10, 20, rng=5)
+        b = uniform_traffic(10, 20, rng=np.random.default_rng(5))
+        assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
+
+    def test_none_seed_keeps_historical_default(self):
+        a = uniform_traffic(10, 20)
+        b = uniform_traffic(10, 20, rng=0)
+        assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
+
 
 class TestHotspot:
     def test_all_target_hotspot(self):
@@ -55,6 +67,12 @@ class TestHotspot:
     def test_bad_hotspot_rejected(self):
         with pytest.raises(ValueError):
             hotspot_traffic(8, hotspot=8, n_flows=1)
+
+    def test_int_seed_matches_generator(self):
+        a = hotspot_traffic(8, hotspot=3, n_flows=12, rng=7)
+        b = hotspot_traffic(8, hotspot=3, n_flows=12,
+                            rng=np.random.default_rng(7))
+        assert [f.src for f in a] == [f.src for f in b]
 
 
 class TestCPUMemory:

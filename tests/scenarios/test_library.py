@@ -1,0 +1,103 @@
+"""Registered scenarios, sweep bindings, and the pinned diurnal run."""
+
+import pytest
+
+from repro.experiments import ResultCache, SweepRunner, get_experiment
+from repro.scenarios import (
+    SCENARIOS,
+    demo_scenario,
+    get_scenario,
+    scenario_task,
+)
+
+
+class TestRegistry:
+    def test_known_scenarios_registered(self):
+        assert {"demo", "diurnal_cori", "reconfig_lag"} <= set(SCENARIOS)
+
+    def test_get_scenario_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="diurnal_cori"):
+            get_scenario("nope")
+
+    def test_registered_scenarios_round_trip(self):
+        from repro.scenarios import Scenario
+        for scenario in SCENARIOS.values():
+            clone = Scenario.from_config(scenario.to_config())
+            assert clone == scenario
+
+
+class TestScenarioTask:
+    def test_accepts_inline_config(self):
+        config = {"scenario": demo_scenario().to_config(),
+                  "backend": "awgr", "rng_seed": 3}
+        report = scenario_task(config, seed=999)
+        assert report.scenario == "demo"
+        assert len(report.epochs) == demo_scenario().n_epochs
+
+    def test_accepts_registered_name_and_epoch_override(self):
+        config = {"scenario": "demo", "backend": "awgr",
+                  "n_epochs": 2, "rng_seed": 3}
+        report = scenario_task(config, seed=0)
+        assert len(report.epochs) == 2
+
+    def test_demo_truncated_to_ci_smoke_still_fires_event(self):
+        # The CI smoke step runs `repro scenario --demo --epochs 3`;
+        # the demo's plane-failure event must fire inside that
+        # truncated horizon or the smoke step stops covering
+        # apply_event.
+        config = {"scenario": "demo", "backend": "awgr",
+                  "n_epochs": 3, "rng_seed": 0}
+        report = scenario_task(config, seed=0)
+        assert report.events_applied == 1
+
+    def test_engine_seed_used_when_rng_seed_absent(self):
+        config = {"scenario": "demo", "backend": "awgr"}
+        a = scenario_task(config, seed=1).as_dict()
+        b = scenario_task(config, seed=2).as_dict()
+        assert a != b
+
+    def test_backend_params_forwarded(self):
+        config = {"scenario": "demo", "backend": "awgr",
+                  "rng_seed": 0, "planes": 3}
+        report = scenario_task(config, seed=0)
+        assert report.epochs[0].extras["healthy_planes"] == 3
+
+
+class TestDiurnalRegression:
+    """Acceptance pin: the diurnal Cori replay with a noon plane
+    failure must reproduce these aggregates bit-identically, including
+    through the result cache."""
+
+    def test_pinned_aggregates_and_cache_replay(self, tmp_path):
+        spec = get_experiment("scenario_diurnal_cori")
+        cache = ResultCache(tmp_path)
+        first = SweepRunner(workers=1, cache=cache).run(spec)
+        second = SweepRunner(workers=1, cache=cache).run(spec)
+        # Bit-identical across two runs via the cache.
+        assert second.n_cached == len(spec) == 2
+        assert first.rows() == second.rows()
+
+        rows = {row["fabric"]: row for row in first.rows()}
+        awgr, wss = rows["awgr"], rows["wss"]
+        # Same offered day on both fabrics.
+        assert awgr["offered_gbps"] == pytest.approx(
+            wss["offered_gbps"], rel=1e-12)
+        # Pinned accepted bandwidth and indirect-route fraction.
+        assert awgr["carried_gbps"] == pytest.approx(
+            8584.230891932122, rel=1e-9)
+        assert awgr["indirect_fraction"] == pytest.approx(
+            0.0811965811965812, rel=1e-9)
+        assert awgr["slowdown_p99"] == pytest.approx(3.0)
+        assert wss["carried_gbps"] == pytest.approx(
+            5620.201915829639, rel=1e-9)
+        assert wss["indirect_fraction"] == 0.0
+        # The failure is scripted into both runs.
+        assert awgr["events_applied"] == 2
+
+    def test_reconfig_lag_monotone_in_period(self):
+        spec = get_experiment("scenario_reconfig_lag")
+        rows = SweepRunner(workers=1).run(spec).rows()
+        served = [r["throughput_ratio"] for r in rows]
+        # Rarer reconfiguration = staler configurations = less served
+        # bandwidth, under a mid-run demand shift.
+        assert served == sorted(served, reverse=True)

@@ -1,0 +1,108 @@
+"""ScenarioRunner: event application, streaming, aggregation."""
+
+import pytest
+
+from repro.scenarios import (
+    Episode,
+    Scenario,
+    ScenarioEvent,
+    ScenarioRunner,
+    make_backend,
+    run_replicated,
+)
+
+
+def scripted_scenario(events=(), n_epochs=6, flows=6):
+    return Scenario(
+        name="scripted", n_nodes=8, n_epochs=n_epochs,
+        episodes=(Episode(kind="uniform", flows=flows),),
+        events=tuple(events))
+
+
+class TestRun:
+    def test_one_epoch_report_per_epoch(self):
+        runner = ScenarioRunner(scripted_scenario(),
+                                make_backend("awgr", 8))
+        report = runner.run(seed=0)
+        assert len(report.epochs) == 6
+        assert [e.epoch for e in report.epochs] == list(range(6))
+
+    def test_deterministic_for_fixed_seed(self):
+        a = ScenarioRunner(scripted_scenario(),
+                           make_backend("awgr", 8, seed=5)).run(seed=5)
+        b = ScenarioRunner(scripted_scenario(),
+                           make_backend("awgr", 8, seed=5)).run(seed=5)
+        assert a.as_dict() == b.as_dict()
+        assert a.rows() == b.rows()
+
+    def test_seed_changes_traffic(self):
+        stochastic = scripted_scenario(
+            flows={"dist": "poisson", "mean": 6})
+        a = ScenarioRunner(stochastic,
+                           make_backend("awgr", 8)).run(seed=1)
+        b = ScenarioRunner(stochastic,
+                           make_backend("awgr", 8)).run(seed=2)
+        assert a.rows() != b.rows()
+
+    def test_events_applied_and_visible(self):
+        events = [ScenarioEvent(epoch=3, action="fail_plane", value=0)]
+        runner = ScenarioRunner(scripted_scenario(events),
+                                make_backend("awgr", 8))
+        report = runner.run(seed=0)
+        assert report.events_applied == 1
+        healthy = [e.extras["healthy_planes"] for e in report.epochs]
+        assert healthy == [5, 5, 5, 4, 4, 4]
+
+    def test_unsupported_events_counted(self):
+        events = [ScenarioEvent(epoch=1, action="fail_plane", value=0)]
+        runner = ScenarioRunner(scripted_scenario(events),
+                                make_backend("electronic", 8))
+        report = runner.run(seed=0)
+        assert report.events_ignored == 1
+        assert report.events_applied == 0
+
+
+class TestAggregates:
+    def test_conservation(self):
+        report = ScenarioRunner(scripted_scenario(),
+                                make_backend("awgr", 8)).run(seed=0)
+        assert report.carried_gbps + report.blocked_gbps == (
+            pytest.approx(report.offered_gbps))
+        assert 0.0 <= report.throughput_ratio <= 1.0
+        assert 0.0 <= report.acceptance_ratio <= 1.0
+
+    def test_as_dict_shape(self):
+        report = ScenarioRunner(scripted_scenario(),
+                                make_backend("wss", 8)).run(seed=0)
+        d = report.as_dict()
+        assert d["scenario"] == "scripted"
+        assert d["fabric"] == "wss"
+        assert d["epochs"] == 6
+        assert set(d) >= {"offered_gbps", "carried_gbps",
+                          "blocked_gbps", "indirect_fraction",
+                          "slowdown_p50", "slowdown_p99"}
+
+    def test_slowdown_quantiles_default_when_idle(self):
+        scenario = Scenario(
+            name="idle", n_nodes=8, n_epochs=2,
+            episodes=(Episode(kind="uniform", flows=0),))
+        report = ScenarioRunner(scenario,
+                                make_backend("awgr", 8)).run(seed=0)
+        assert report.slowdown_quantiles() == {0.5: 1.0, 0.99: 1.0}
+
+
+class TestRunReplicated:
+    def test_ci_over_seeds(self):
+        summary = run_replicated(
+            scripted_scenario(),
+            lambda seed: make_backend("awgr", 8, seed=seed),
+            repeats=3, base_seed=10)
+        assert summary["offered_gbps"]["n"] == 3.0
+        ci = summary["throughput_ratio"]
+        assert ci["ci_low"] <= ci["mean"] <= ci["ci_high"]
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_replicated(scripted_scenario(),
+                           lambda seed: make_backend("awgr", 8),
+                           repeats=0)

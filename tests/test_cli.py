@@ -97,3 +97,57 @@ class TestSweep:
         assert "0 cached, 2 run" in capsys.readouterr().out
         assert main(argv) == 0
         assert "0 cached, 2 run" in capsys.readouterr().out
+
+    def test_list_includes_scenario_sweeps(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario_diurnal_cori" in out
+        assert "ablation_awgr_planes" in out
+        assert "power_overhead" in out
+
+
+class TestScenario:
+    def test_list_shows_registered_scenarios(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "diurnal_cori" in out
+        assert "reconfig_lag" in out
+
+    def test_missing_scenario_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario"])
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(SystemExit, match="diurnal_cori"):
+            main(["scenario", "nope"])
+
+    def test_demo_runs_with_epoch_override(self, capsys):
+        assert main(["scenario", "--demo", "--epochs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per-epoch" in out
+        assert "Aggregate" in out
+        # One header + separator + three epoch rows.
+        assert "epoch" in out
+
+    def test_bad_epochs_errors(self):
+        with pytest.raises(SystemExit, match="epochs"):
+            main(["scenario", "--demo", "--epochs", "0"])
+
+    def test_diurnal_on_both_backends(self, capsys):
+        # The acceptance-criterion path: the diurnal Cori replay with
+        # its mid-run plane failure runs end-to-end on AWGR and WSS
+        # via the CLI.
+        for backend in ("awgr", "wss"):
+            assert main(["scenario", "diurnal_cori",
+                         "--backend", backend]) == 0
+            out = capsys.readouterr().out
+            assert "diurnal_cori" in out
+            assert "indirect_fraction" in out
+            assert "events_applied" in out
+
+    def test_repeats_reports_ci(self, capsys):
+        assert main(["scenario", "--demo", "--epochs", "2",
+                     "--repeats", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ci_low" in out
+        assert "ci_high" in out
