@@ -5,22 +5,39 @@
 Paper values: NAS negligible; Rodinia ~16% both cores; Parsec large
 23% in-order / 41% OOO, medium 13% / 24%; overall Parsec 16% / 27%;
 NW worst at ~79% / ~55%.
+
+Runs on the sweep engine:
+``repro.experiments.library.FIG6_CPU_SLOWDOWN`` replaces the old
+hand-rolled ``run_cpu_study`` call (one task per core type).
 """
 
 import numpy as np
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.core.slowdown import run_cpu_study, suite_summary
+from repro.experiments import SweepRunner, get_experiment
+
+
+def _sweep():
+    return SweepRunner(workers=1).run(
+        get_experiment("fig6_cpu_slowdown")).rows()
 
 
 def test_fig6_cpu_slowdown(benchmark):
-    results = benchmark(run_cpu_study, 35.0)
-    rows = [{
-        "suite": s.suite, "input": s.input_size, "core": s.core,
-        "mean_slowdown": s.mean_slowdown, "max_slowdown": s.max_slowdown,
-        "n": s.n,
-    } for s in suite_summary(results)]
+    raw = benchmark(_sweep)
+    rows = []
+    for task_row in raw:
+        core = task_row["core"]
+        groups = {key.rsplit(".", 1)[0]
+                  for key in task_row if key.count(".") == 2}
+        for group in sorted(groups):
+            suite, input_size = group.split(".")
+            rows.append({
+                "suite": suite, "input": input_size, "core": core,
+                "mean_slowdown": task_row[f"{group}.mean_slowdown"],
+                "max_slowdown": task_row[f"{group}.max_slowdown"],
+                "n": task_row[f"{group}.n"],
+            })
     emit("Fig. 6 — CPU slowdown @35 ns", render_table(rows))
 
     summary = {(r["suite"], r["input"], r["core"]): r for r in rows}

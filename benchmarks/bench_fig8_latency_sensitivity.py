@@ -2,32 +2,29 @@
 
 Paper: "reducing the additional latency to 25 ns from 35 ns reduces
 application slowdown by about half" for both core types.
+
+Runs on the sweep engine:
+``repro.experiments.library.FIG8_LATENCY_SENSITIVITY`` replaces the
+old serial loop over ``SENSITIVITY_POINTS_NS`` (one task per
+(latency, core) grid point).
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.core.latency import SENSITIVITY_POINTS_NS
-from repro.core.slowdown import run_cpu_study
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _sweep():
-    out = {}
-    for ns in SENSITIVITY_POINTS_NS:
-        out[ns] = run_cpu_study(ns)
-    return out
+    return SweepRunner(workers=1).run(
+        get_experiment("fig8_latency_sensitivity")).rows()
 
 
 def test_fig8_latency_sensitivity(benchmark):
-    sweeps = benchmark(_sweep)
-    rows = []
-    for ns, results in sweeps.items():
-        for core in ("inorder", "ooo"):
-            sel = [r.slowdown for r in results if r.core == core]
-            rows.append({"extra_ns": ns, "core": core,
-                         "mean_slowdown": float(np.mean(sel)),
-                         "max_slowdown": float(np.max(sel))})
+    raw = benchmark(_sweep)
+    rows = [{"extra_ns": r["latency_ns"], "core": r["core"],
+             "mean_slowdown": r["overall_mean_slowdown"],
+             "max_slowdown": r["overall_max_slowdown"]} for r in raw]
     emit("Fig. 8 — latency sensitivity", render_table(rows))
 
     means = {(r["extra_ns"], r["core"]): r["mean_slowdown"] for r in rows}

@@ -2,16 +2,25 @@
 
 All families clamped to 25 Gbps/wavelength; radices 370 (cascaded
 AWGR), 240 (spatial), 256 (wave-selective).
+
+Runs on the sweep engine:
+``repro.experiments.library.TABLE4_SWITCH_CONFIGS`` replaces the old
+direct ``table4_rows()`` call (one task per switch family).
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.photonics.switches import table4_rows
+from repro.experiments import SweepRunner, get_experiment
+
+
+def _sweep():
+    return SweepRunner(workers=1).run(
+        get_experiment("table4_switch_configs")).rows()
 
 
 def test_table4_switch_configs(benchmark):
-    rows = benchmark(table4_rows)
+    rows = benchmark(_sweep)
     emit("Table IV — study switch configurations", render_table(rows))
     by_type = {r["switch_type"]: r for r in rows}
     assert by_type["awgr"]["radix"] == 370

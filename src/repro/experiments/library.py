@@ -10,7 +10,11 @@ processes.
 These registered sweeps are deterministic *replays*: their RNG inputs
 are pinned in the config (``rng_seed`` etc.), so the engine-derived
 ``seed`` argument — and therefore ``ExperimentSpec.base_seed`` — does
-not change their results, only their cache identity. For resampling
+not change their results, only their cache identity. The AWGR
+simulations ride the vectorized batch-admission hot path
+(``AWGRNetworkSimulator.run`` defaults to ``batch_admission=True``),
+which is bit-identical to the historical per-flow loop, so previously
+cached metrics replay unchanged. For resampling
 studies, write a factory that consumes ``seed`` (see
 ``examples/sweep_demo.py``) instead of pinning seeds in config.
 """
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.latency import SENSITIVITY_POINTS_NS
 from repro.experiments.spec import ExperimentSpec
 from repro.network.simulator import AWGRNetworkSimulator, SimulationReport
 from repro.network.traffic import Flow, uniform_traffic
@@ -175,6 +180,80 @@ POWER_OVERHEAD = ExperimentSpec(
     metrics=identity_metrics)
 
 
+# -- CPU slowdown studies (Figs. 6 and 8) --------------------------------------
+
+def cpu_slowdown_task(config: dict, seed: int) -> dict:
+    """Run the CPU study for one (latency, core) point.
+
+    One grid point per core type: the paper generates one gem5
+    checkpoint per benchmark and feeds both core models, but the trace
+    synthesis is deterministic, so splitting the cores into parallel
+    tasks reproduces identical numbers. Metrics are flattened to
+    ``"<suite>.<input>.<stat>"`` keys plus the across-suite mean/max.
+    """
+    from repro.core.slowdown import run_cpu_study, suite_summary
+
+    results = run_cpu_study(config["latency_ns"],
+                            cores=(config["core"],))
+    out: dict = {
+        "overall_mean_slowdown": float(
+            np.mean([r.slowdown for r in results])),
+        "overall_max_slowdown": float(
+            np.max([r.slowdown for r in results])),
+    }
+    for group in suite_summary(results):
+        prefix = f"{group.suite}.{group.input_size}"
+        out[f"{prefix}.mean_slowdown"] = group.mean_slowdown
+        out[f"{prefix}.max_slowdown"] = group.max_slowdown
+        out[f"{prefix}.n"] = group.n
+    return out
+
+
+FIG6_CPU_SLOWDOWN = ExperimentSpec(
+    name="fig6_cpu_slowdown",
+    description="Fig. 6: per-suite CPU slowdown at the 35 ns adder",
+    factory=cpu_slowdown_task,
+    metrics=identity_metrics,
+    grid={"core": ("inorder", "ooo")},
+    fixed={"latency_ns": 35.0})
+
+
+FIG8_LATENCY_SENSITIVITY = ExperimentSpec(
+    name="fig8_latency_sensitivity",
+    description="Fig. 8: CPU slowdown vs 25/30/35 ns extra latency",
+    factory=cpu_slowdown_task,
+    metrics=identity_metrics,
+    grid={"latency_ns": SENSITIVITY_POINTS_NS,
+          "core": ("inorder", "ooo")})
+
+
+# -- Table IV switch configurations --------------------------------------------
+
+def table4_switch_task(config: dict, seed: int) -> dict:
+    """Regenerate one Table IV row (one switch family per task).
+
+    Same row shape as ``repro.photonics.switches.table4_rows`` but
+    formatted for the single requested family only.
+    """
+    from repro.photonics.switches import study_switch_configs
+
+    tech = study_switch_configs()[config["switch_type"]]
+    return {
+        "switch_type": config["switch_type"],
+        "radix": tech.radix,
+        "gbps_per_wavelength": tech.gbps_per_wavelength,
+        "wavelengths_per_port": tech.wavelengths_per_port,
+    }
+
+
+TABLE4_SWITCH_CONFIGS = ExperimentSpec(
+    name="table4_switch_configs",
+    description="Table IV: study switch configurations by family",
+    factory=table4_switch_task,
+    metrics=identity_metrics,
+    grid={"switch_type": ("awgr", "spatial", "wave-selective")})
+
+
 # -- placement bandwidth (§VI-A, empirical) ----------------------------------
 
 def placement_bandwidth_task(config: dict, seed: int) -> dict:
@@ -309,6 +388,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     for spec in (ABLATION_STALENESS, INDIRECT_ROUTING,
                  ABLATION_AWGR_PLANES, ABLATION_PLANE_FAILURE,
                  FIG5_CONNECTIVITY, POWER_OVERHEAD,
+                 FIG6_CPU_SLOWDOWN, FIG8_LATENCY_SENSITIVITY,
+                 TABLE4_SWITCH_CONFIGS,
                  PLACEMENT_BANDWIDTH, CASE_A_VS_CASE_B, ISOPERF)
 }
 

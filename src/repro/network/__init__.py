@@ -20,7 +20,11 @@ from repro.network.traffic import (
     cpu_memory_traffic,
     gpu_allreduce_traffic,
 )
-from repro.network.simulator import AWGRNetworkSimulator, SimulationReport
+from repro.network.simulator import (
+    AWGRNetworkSimulator,
+    BatchDecisions,
+    SimulationReport,
+)
 from repro.network.electronic import (
     ElectronicSwitch,
     ELECTRONIC_CATALOG,
@@ -46,7 +50,7 @@ __all__ = [
     "IndirectRouter", "RouteDecision", "RouteKind",
     "Flow", "uniform_traffic", "hotspot_traffic", "cpu_memory_traffic",
     "gpu_allreduce_traffic",
-    "AWGRNetworkSimulator", "SimulationReport",
+    "AWGRNetworkSimulator", "BatchDecisions", "SimulationReport",
     "ElectronicSwitch", "ELECTRONIC_CATALOG",
     "electronic_disaggregation_latency_ns",
     "awgr_connectivity_graph", "wss_connectivity_graph",

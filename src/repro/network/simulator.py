@@ -11,17 +11,55 @@ This is deliberately a *flow-level* model, not a packet simulator: the
 paper's §VI-A argument is about whether wavelength capacity exists for
 each demand, which flow-level admission captures, while packet effects
 are subsumed in the fixed 35 ns latency adder evaluated separately.
+
+Two admission paths share one set of semantics:
+
+* the **scalar** path (:meth:`AWGRNetworkSimulator.offer`) admits one
+  flow at a time — the reference implementation;
+* the **batched** path (:meth:`AWGRNetworkSimulator.offer_batch`)
+  vectorizes a whole slot's arrivals: it bulk-admits the maximal
+  prefix of direct-capable flows with one grouped capacity scan and
+  one scatter allocation, falls back to the scalar router only for
+  the first non-direct flow, then rescans. Because direct admissions
+  touch only their own (src, dst) wavelengths, the prefix scan is an
+  exact replay of sequential admission, so both paths produce
+  bit-identical :class:`SimulationReport` aggregates (and identical
+  occupancy, RNG consumption, and piggyback state) for seeded runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
 
 from repro.network.routing import IndirectRouter, RouteDecision, RouteKind
 from repro.network.state import PiggybackState
 from repro.network.traffic import Flow
 from repro.network.wavelength import WavelengthAllocator
+
+#: Kind codes used by the batched path (:attr:`BatchDecisions.kinds`).
+DIRECT, INDIRECT, DOUBLE_INDIRECT, BLOCKED = range(4)
+
+_KIND_CODES = {RouteKind.DIRECT: DIRECT,
+               RouteKind.INDIRECT: INDIRECT,
+               RouteKind.DOUBLE_INDIRECT: DOUBLE_INDIRECT,
+               RouteKind.BLOCKED: BLOCKED}
+
+
+def sequential_sum(start: float, values: np.ndarray) -> float:
+    """Strict left-to-right float accumulation starting from ``start``.
+
+    ``np.add.accumulate`` must produce every prefix, so it folds left
+    to right like a ``+=`` loop — unlike ``np.sum``, whose pairwise
+    summation rounds differently. The batched report builders use this
+    so their float aggregates stay *bit-identical* to the scalar
+    per-flow accumulation.
+    """
+    if len(values) == 0:
+        return start
+    return float(np.add.accumulate(
+        np.concatenate(((start,), values)))[-1])
 
 
 @dataclass
@@ -80,6 +118,85 @@ class SimulationReport:
 
 
 @dataclass
+class BatchDecisions:
+    """Vectorized outcome of one :meth:`offer_batch` call.
+
+    Arrays are indexed by the batch's flow order: ``kinds`` holds the
+    module-level kind codes (:data:`DIRECT` ... :data:`BLOCKED`),
+    ``hops`` the photonic hops taken (0 when blocked), ``gbps`` the
+    offered bandwidth per flow.
+    """
+
+    kinds: np.ndarray
+    hops: np.ndarray
+    gbps: np.ndarray
+
+    @property
+    def carried_mask(self) -> np.ndarray:
+        """Boolean mask of flows that found capacity."""
+        return self.kinds != BLOCKED
+
+
+@dataclass
+class _DirectBatch:
+    """Compact sub-slot token store for one slot's bulk admissions.
+
+    One row per reserved sub-slot: the (src, dst) wavelength pair, the
+    plane carrying it, and the local flow index that owns it — enough
+    to release everything with one scatter subtract at expiry and to
+    drop whole flows when a plane fails, without materializing a
+    Python ``RouteDecision`` per flow.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    plane: np.ndarray
+    flow: np.ndarray
+
+    def release(self, allocator: WavelengthAllocator) -> None:
+        """Return every token to the allocator (flow expiry)."""
+        allocator.release_tokens(self.src, self.dst, self.plane)
+
+    def drop_plane(self, allocator: WavelengthAllocator,
+                   plane: int) -> int:
+        """Drop flows with any token on a failed plane.
+
+        Surviving-plane tokens of dropped flows are released (the
+        allocator already zeroed the failed plane's occupancy).
+        Returns how many flows were dropped.
+        """
+        hit = self.plane == plane
+        if not hit.any():
+            return 0
+        doomed_flows = np.unique(self.flow[hit])
+        doomed = np.isin(self.flow, doomed_flows)
+        live = doomed & ~hit
+        allocator.release_tokens(self.src[live], self.dst[live],
+                                 self.plane[live])
+        keep = ~doomed
+        self.src = self.src[keep]
+        self.dst = self.dst[keep]
+        self.plane = self.plane[keep]
+        self.flow = self.flow[keep]
+        return int(doomed_flows.size)
+
+
+@dataclass
+class _ExpiryBucket:
+    """Everything retiring at one future slot."""
+
+    entries: list[tuple[Flow, RouteDecision]] = field(default_factory=list)
+    batches: list[_DirectBatch] = field(default_factory=list)
+
+    def release(self, router: IndirectRouter,
+                allocator: WavelengthAllocator) -> None:
+        for (_, decision) in self.entries:
+            router.release(decision)
+        for batch in self.batches:
+            batch.release(allocator)
+
+
+@dataclass
 class AWGRNetworkSimulator:
     """Slot-based admission simulator over parallel AWGR planes.
 
@@ -100,6 +217,12 @@ class AWGRNetworkSimulator:
         perfect information. The boards cost O(N^2) memory *per node*,
         so rack-scale (350-MCM) feasibility checks should disable them;
         staleness studies on smaller fabrics keep them on.
+    batch_admission:
+        When true (the default), :meth:`run` admits each slot's flows
+        through the vectorized :meth:`offer_batch` hot path. The
+        scalar per-flow path is semantically identical (see the module
+        docstring); keep this switch for equivalence tests and
+        benchmarking the two paths against each other.
     """
 
     n_nodes: int
@@ -109,6 +232,7 @@ class AWGRNetworkSimulator:
     state_update_period: int = 1
     rng_seed: int = 0
     track_state: bool = True
+    batch_admission: bool = True
 
     def __post_init__(self) -> None:
         self.allocator = WavelengthAllocator(
@@ -122,13 +246,24 @@ class AWGRNetworkSimulator:
                 rng_seed=self.rng_seed)
         self.router = IndirectRouter(
             self.allocator, state=self.state, rng_seed=self.rng_seed)
-        self._active: list[tuple[int, Flow, RouteDecision]] = []
+        # Active flows keyed by expiry slot: step() pops exactly one
+        # bucket instead of rebuilding an O(active) list every slot.
+        self._buckets: dict[int, _ExpiryBucket] = {}
         self._now = 0
 
     @property
     def slot_gbps(self) -> float:
         """Bandwidth of one sub-slot."""
         return self.gbps_per_wavelength / self.flows_per_wavelength
+
+    def _bucket_at(self, duration_slots: int) -> _ExpiryBucket:
+        # Durations below one slot still survive until the next step,
+        # matching the historical ``expiry <= now`` retirement check.
+        expiry = self._now + max(1, duration_slots)
+        bucket = self._buckets.get(expiry)
+        if bucket is None:
+            bucket = self._buckets[expiry] = _ExpiryBucket()
+        return bucket
 
     # -- single-shot admission -----------------------------------------------------
 
@@ -137,19 +272,142 @@ class AWGRNetworkSimulator:
         slots = flow.slots(self.slot_gbps)
         decision = self.router.route_flow(flow.src, flow.dst, slots)
         if decision.kind is not RouteKind.BLOCKED:
-            self._active.append((self._now + duration_slots, flow, decision))
+            self._bucket_at(duration_slots).entries.append((flow, decision))
         return decision
+
+    # -- batched admission ---------------------------------------------------------
+
+    def offer_batch(self, flows: list[Flow],
+                    duration_slots: int = 1) -> BatchDecisions:
+        """Admit one slot's flows through the vectorized hot path.
+
+        Sequential admission is replayed exactly: flows are scanned in
+        order, the maximal prefix that fits its direct wavelengths
+        (per-pair grouped cumulative demand against the free-slot
+        counts) is bulk-admitted with one scatter allocation, the
+        first non-direct flow is routed through the scalar
+        :class:`IndirectRouter` (preserving RNG consumption), and the
+        scan resumes after it. Direct admissions only consume their
+        own pair's capacity, so the prefix check is exact; indirect
+        reservations can touch any pair, which is why the scan stops
+        and recomputes at each residual flow.
+        """
+        n = len(flows)
+        kinds = np.empty(n, dtype=np.uint8)
+        hops = np.zeros(n, dtype=np.int64)
+        gbps = np.fromiter((f.gbps for f in flows),
+                           dtype=np.float64, count=n)
+        if n == 0:
+            return BatchDecisions(kinds=kinds, hops=hops, gbps=gbps)
+        src = np.fromiter((f.src for f in flows), dtype=np.int64, count=n)
+        dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=n)
+        # Same endpoint validation the scalar path gets from
+        # WavelengthAllocator._check (numpy would otherwise wrap
+        # negative indices silently).
+        if (min(src.min(), dst.min()) < 0
+                or max(src.max(), dst.max()) >= self.n_nodes):
+            raise ValueError("flow endpoint out of range")
+        slots = np.ceil(gbps / self.slot_gbps).astype(np.int64)
+        np.maximum(slots, 1, out=slots)
+        pid = src * self.allocator.n_nodes + dst
+        bucket = self._bucket_at(duration_slots)
+
+        start = 0
+        while start < n:
+            stop = self._admit_direct_prefix(pid, slots, start, bucket)
+            kinds[start:stop] = DIRECT
+            hops[start:stop] = 1
+            if stop >= n:
+                break
+            # First flow the direct wavelengths cannot absorb: route it
+            # exactly as the scalar path would (same allocator state,
+            # same RNG draws), then rescan the remainder.
+            flow = flows[stop]
+            decision = self.router.route_flow(
+                flow.src, flow.dst, int(slots[stop]))
+            kinds[stop] = _KIND_CODES[decision.kind]
+            hops[stop] = decision.hops
+            if decision.kind is not RouteKind.BLOCKED:
+                bucket.entries.append((flow, decision))
+            start = stop + 1
+        return BatchDecisions(kinds=kinds, hops=hops, gbps=gbps)
+
+    def _admit_direct_prefix(self, pid: np.ndarray, slots: np.ndarray,
+                             start: int, bucket: _ExpiryBucket) -> int:
+        """Bulk-admit the maximal direct-capable prefix from ``start``.
+
+        Returns the absolute index of the first flow that does *not*
+        fit its direct wavelengths (== ``len(pid)`` when everything
+        fits). Flows in ``[start, stop)`` are allocated exactly as
+        sequential least-loaded ``allocate`` calls would.
+        """
+        alloc = self.allocator
+        n_nodes = alloc.n_nodes
+        seg_pid = pid[start:]
+        seg_slots = slots[start:]
+        # Group the segment by pair, order-preserving within each pair.
+        order = np.argsort(seg_pid, kind="stable")
+        s_pid = seg_pid[order]
+        s_slots = seg_slots[order]
+        new_group = np.empty(len(s_pid), dtype=bool)
+        new_group[0] = True
+        np.not_equal(s_pid[1:], s_pid[:-1], out=new_group[1:])
+        group_start = np.flatnonzero(new_group)
+        group_sizes = np.diff(np.append(group_start, len(s_pid)))
+        # Inclusive per-pair cumulative demand, in flow order.
+        cumulative = np.cumsum(s_slots)
+        base = (cumulative - s_slots)[group_start]
+        within = cumulative - np.repeat(base, group_sizes)
+        # Free-slot matrix entries for the pairs present, computed once.
+        u_pid = s_pid[group_start]
+        u_src, u_dst = np.divmod(u_pid, n_nodes)
+        total = alloc.healthy_planes * alloc.flows_per_wavelength
+        u_free = total - alloc._occupancy[u_src, u_dst].sum(axis=1)
+        ok_sorted = within <= np.repeat(u_free, group_sizes)
+        ok = np.empty(len(s_pid), dtype=bool)
+        ok[order] = ok_sorted
+        bad = np.flatnonzero(~ok)
+        stop = start + (int(bad[0]) if bad.size else len(s_pid))
+        if stop == start:
+            return stop
+
+        # Scatter-allocate the admitted prefix, grouped by pair. When
+        # the whole segment fit (the hot case under uniform load) the
+        # scan's grouping is reused instead of re-sorting the prefix.
+        if stop - start == len(s_pid):
+            adm_order, p_slots = order, s_slots
+            g_start = group_start
+            g_src, g_dst = u_src, u_dst
+        else:
+            adm_pid = pid[start:stop]
+            adm_order = np.argsort(adm_pid, kind="stable")
+            p_pid = adm_pid[adm_order]
+            p_slots = slots[start:stop][adm_order]
+            first = np.empty(len(p_pid), dtype=bool)
+            first[0] = True
+            np.not_equal(p_pid[1:], p_pid[:-1], out=first[1:])
+            g_start = np.flatnonzero(first)
+            g_src, g_dst = np.divmod(p_pid[g_start], n_nodes)
+        totals = np.add.reduceat(p_slots, g_start)
+        seq = alloc.allocate_pairs(g_src, g_dst, totals)
+        token_mask = np.arange(seq.shape[1])[None, :] < totals[:, None]
+        # Assignment-ordered tokens are flow-major within each pair, so
+        # repeating flow ids by their slot counts labels every token.
+        bucket.batches.append(_DirectBatch(
+            src=g_src.repeat(totals), dst=g_dst.repeat(totals),
+            plane=seq[token_mask],
+            flow=(start + adm_order).repeat(p_slots)))
+        self.router.stats[RouteKind.DIRECT] += stop - start
+        return stop
+
+    # -- time ----------------------------------------------------------------------
 
     def step(self) -> None:
         """Advance one slot: retire expired flows, age piggyback state."""
         self._now += 1
-        still_active = []
-        for (expiry, flow, decision) in self._active:
-            if expiry <= self._now:
-                self.router.release(decision)
-            else:
-                still_active.append((expiry, flow, decision))
-        self._active = still_active
+        bucket = self._buckets.pop(self._now, None)
+        if bucket is not None:
+            bucket.release(self.router, self.allocator)
         if self.state is not None:
             self.state.step()
 
@@ -157,7 +415,19 @@ class AWGRNetworkSimulator:
 
     def run(self, flow_batches: list[list[Flow]],
             duration_slots: int = 4) -> SimulationReport:
-        """Offer one batch of flows per slot and aggregate statistics."""
+        """Offer one batch of flows per slot and aggregate statistics.
+
+        Dispatches to the vectorized batch-admission hot path unless
+        ``batch_admission`` is off; both paths return bit-identical
+        reports for the same seed.
+        """
+        if self.batch_admission:
+            return self._run_batched(flow_batches, duration_slots)
+        return self._run_scalar(flow_batches, duration_slots)
+
+    def _run_scalar(self, flow_batches: list[list[Flow]],
+                    duration_slots: int) -> SimulationReport:
+        """Reference per-flow admission loop (the pre-batching path)."""
         report = SimulationReport()
         for batch in flow_batches:
             for flow in batch:
@@ -183,11 +453,38 @@ class AWGRNetworkSimulator:
         report.stale_mispredictions = self.router.stale_mispredictions
         return report
 
+    def _run_batched(self, flow_batches: list[list[Flow]],
+                     duration_slots: int) -> SimulationReport:
+        report = SimulationReport()
+        histogram = report.hop_histogram
+        for batch in flow_batches:
+            decisions = self.offer_batch(batch, duration_slots)
+            carried = decisions.carried_mask
+            report.offered += len(batch)
+            report.offered_gbps = sequential_sum(
+                report.offered_gbps, decisions.gbps)
+            report.carried_gbps = sequential_sum(
+                report.carried_gbps, decisions.gbps[carried])
+            counts = np.bincount(decisions.kinds, minlength=4)
+            report.carried_direct += int(counts[DIRECT])
+            report.carried_indirect += int(counts[INDIRECT])
+            report.carried_double += int(counts[DOUBLE_INDIRECT])
+            report.blocked += int(counts[BLOCKED])
+            hop_values, hop_counts = np.unique(decisions.hops,
+                                               return_counts=True)
+            for hops, count in zip(hop_values.tolist(),
+                                   hop_counts.tolist()):
+                histogram[hops] = histogram.get(hops, 0) + count
+            self.step()
+            report.slots += 1
+        report.stale_mispredictions = self.router.stale_mispredictions
+        return report
+
     def drain(self) -> None:
         """Release every active flow (end of experiment)."""
-        for (_, _, decision) in self._active:
-            self.router.release(decision)
-        self._active.clear()
+        for bucket in self._buckets.values():
+            bucket.release(self.router, self.allocator)
+        self._buckets.clear()
 
     # -- failure injection ---------------------------------------------------------
 
@@ -199,22 +496,29 @@ class AWGRNetworkSimulator:
         capacity accounting stays exact (the allocator already zeroes
         the failed plane's occupancy). Returns how many flows were
         dropped; callers model their retry as fresh offers.
+
+        Bulk-admitted flows are scanned vectorized (one mask over each
+        batch's token arrays); only the few router-carried flows still
+        walk their per-flow reservation tuples.
         """
         self.allocator.fail_plane(plane)
-        survivors = []
         dropped = 0
-        for (expiry, flow, decision) in self._active:
-            planes_used = {p for (_, _, used) in decision.reservations
-                           for p in used}
-            if plane in planes_used:
-                dropped += 1
-                for (a, b, used) in decision.reservations:
-                    live = [p for p in used if p != plane]
-                    if live:
-                        self.allocator.release(a, b, live)
-            else:
-                survivors.append((expiry, flow, decision))
-        self._active = survivors
+        for bucket in self._buckets.values():
+            survivors = []
+            for (flow, decision) in bucket.entries:
+                planes_used = {p for (_, _, used) in decision.reservations
+                               for p in used}
+                if plane in planes_used:
+                    dropped += 1
+                    for (a, b, used) in decision.reservations:
+                        live = [p for p in used if p != plane]
+                        if live:
+                            self.allocator.release(a, b, live)
+                else:
+                    survivors.append((flow, decision))
+            bucket.entries = survivors
+            for batch in bucket.batches:
+                dropped += batch.drop_plane(self.allocator, plane)
         return dropped
 
     def repair_plane(self, plane: int) -> None:

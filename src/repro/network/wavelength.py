@@ -18,6 +18,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: Token value assigned to failed planes so least-loaded selection can
+#: never pick them. Far above any real occupancy yet small enough that
+#: ``value * planes + plane`` stays well inside int64.
+_UNAVAILABLE = np.int64(1) << 40
+
+
+def _scatter_add(target: np.ndarray, flat_indices: np.ndarray,
+                 delta: int) -> None:
+    """Add ``delta`` at (possibly repeated) flat indices of ``target``.
+
+    ``np.unique`` collapses repeats to counts so the update is one
+    fancy-indexed add instead of a slow ``ufunc.at`` over every token.
+    """
+    unique, counts = np.unique(flat_indices, return_counts=True)
+    flat = target.reshape(-1)
+    flat[unique] += (delta * counts).astype(flat.dtype)
+
 
 @dataclass
 class WavelengthAllocator:
@@ -53,6 +70,9 @@ class WavelengthAllocator:
         self._occupancy = np.zeros(
             (self.n_nodes, self.n_nodes, self.planes), dtype=np.int32)
         self._failed_planes: set[int] = set()
+        # Boolean in-service mask, kept in sync with _failed_planes so
+        # the vectorized paths never rebuild per-call plane lists.
+        self._healthy = np.ones(self.planes, dtype=bool)
 
     # -- queries --------------------------------------------------------------
 
@@ -70,9 +90,8 @@ class WavelengthAllocator:
     def free_wavelengths(self, src: int, dst: int) -> int:
         """Healthy wavelengths with no occupancy at all for the pair."""
         self._check(src, dst)
-        return sum(1 for p in range(self.planes)
-                   if p not in self._failed_planes
-                   and self._occupancy[src, dst, p] == 0)
+        return int(np.count_nonzero(
+            (self._occupancy[src, dst] == 0) & self._healthy))
 
     def has_capacity(self, src: int, dst: int, slots: int = 1) -> bool:
         """Can the pair absorb ``slots`` more sub-slots?"""
@@ -122,6 +141,14 @@ class WavelengthAllocator:
         Returns the plane indices used (one entry per slot). Raises
         ``RuntimeError`` when capacity is insufficient — callers must
         check :meth:`has_capacity` (or catch) to model blocking.
+
+        Least-loaded fill is computed in closed form instead of a
+        per-slot ``min()`` loop: the t-th sub-slot of a sequential fill
+        always takes the t-th smallest token ``(occupancy + j, plane)``
+        over planes ``p`` and increments ``j``, so selecting the
+        ``slots`` smallest tokens (``argpartition``) and ordering them
+        reproduces the sequential assignment exactly, ties broken
+        toward the lowest plane index.
         """
         self._check(src, dst)
         if slots <= 0:
@@ -129,15 +156,74 @@ class WavelengthAllocator:
         if not self.has_capacity(src, dst, slots):
             raise RuntimeError(
                 f"no capacity for {slots} slots on pair ({src}, {dst})")
-        used: list[int] = []
         occ = self._occupancy[src, dst]
-        healthy = [p for p in range(self.planes)
-                   if p not in self._failed_planes]
-        for _ in range(slots):
-            plane = min(healthy, key=lambda p: occ[p])
+        if slots == 1:
+            plane = int(np.argmin(
+                np.where(self._healthy, occ, _UNAVAILABLE)))
             occ[plane] += 1
-            used.append(plane)
-        return used
+            return [plane]
+        p = self.planes
+        vals = occ.astype(np.int64)[:, None] + np.arange(
+            slots, dtype=np.int64)[None, :]
+        vals[~self._healthy] = _UNAVAILABLE
+        keys = (vals * p
+                + np.arange(p, dtype=np.int64)[:, None]).reshape(-1)
+        take = np.argpartition(keys, slots - 1)[:slots]
+        take = take[np.argsort(keys[take])]
+        used = take // slots  # keys laid out plane-major
+        _scatter_add(occ, used, 1)
+        return used.tolist()
+
+    def allocate_pairs(self, src: np.ndarray, dst: np.ndarray,
+                       totals: np.ndarray) -> np.ndarray:
+        """Bulk least-loaded allocation over *distinct* (src, dst) pairs.
+
+        Replays, in one vectorized shot, exactly what sequential
+        :meth:`allocate` calls totalling ``totals[u]`` sub-slots on
+        each pair would do (same token argument as :meth:`allocate`).
+        Returns an ``(len(src), totals.max())`` int array whose row
+        ``u`` lists the planes in assignment order, padded with -1.
+        Occupancy is updated in place.
+
+        Callers must guarantee pair distinctness, positive totals, and
+        per-pair capacity — this is the trusted inner loop of
+        :meth:`repro.network.simulator.AWGRNetworkSimulator.offer_batch`.
+        """
+        max_total = int(totals.max())
+        p = self.planes
+        if max_total == 1:
+            # Hot case (single sub-slot per pair): the token sort
+            # degenerates to one least-loaded argmin per pair.
+            occ = self._occupancy[src, dst]
+            plane = np.where(self._healthy, occ, _UNAVAILABLE).argmin(axis=1)
+            _scatter_add(self._occupancy,
+                         (src * self.n_nodes + dst) * p + plane, 1)
+            return plane[:, None]
+        seq = np.full((len(src), max_total), -1, dtype=np.int64)
+        single = totals == 1
+        if single.any():
+            seq[single, :1] = self.allocate_pairs(
+                src[single], dst[single], totals[single])
+        multi = np.flatnonzero(~single)
+        m = len(multi)
+        m_src, m_dst, m_totals = src[multi], dst[multi], totals[multi]
+        occ = self._occupancy[m_src, m_dst].astype(np.int64)  # (m, p)
+        vals = occ[:, :, None] + np.arange(
+            max_total, dtype=np.int64)[None, None, :]
+        vals[:, ~self._healthy, :] = _UNAVAILABLE
+        keys = (vals * p + np.arange(p, dtype=np.int64)[None, :, None]
+                ).reshape(m, p * max_total)
+        part = np.argpartition(keys, max_total - 1, axis=1)[:, :max_total]
+        sub = np.take_along_axis(keys, part, axis=1)
+        idx = np.take_along_axis(part, np.argsort(sub, axis=1), axis=1)
+        m_seq = idx // max_total  # keys laid out plane-major per pair
+        mask = np.arange(max_total)[None, :] < m_totals[:, None]
+        flat = ((m_src.repeat(m_totals) * self.n_nodes
+                 + m_dst.repeat(m_totals)) * p + m_seq[mask])
+        _scatter_add(self._occupancy, flat, 1)
+        m_seq[~mask] = -1
+        seq[multi] = m_seq
+        return seq
 
     def release(self, src: int, dst: int, planes: list[int]) -> None:
         """Release previously allocated sub-slots."""
@@ -149,6 +235,24 @@ class WavelengthAllocator:
                 raise RuntimeError(
                     f"release underflow on ({src}, {dst}) plane {plane}")
             self._occupancy[src, dst, plane] -= 1
+
+    def release_tokens(self, src: np.ndarray, dst: np.ndarray,
+                       planes: np.ndarray) -> None:
+        """Bulk release of (src, dst, plane) sub-slot tokens.
+
+        The vectorized counterpart of :meth:`release` for the batched
+        admission path: one scatter subtract instead of a per-token
+        loop, with the same underflow guarantee (checked on the
+        touched wavelengths only).
+        """
+        if len(src) == 0:
+            return
+        flat_idx = (src * self.n_nodes + dst) * self.planes + planes
+        unique, counts = np.unique(flat_idx, return_counts=True)
+        flat = self._occupancy.reshape(-1)
+        if (flat[unique] < counts).any():
+            raise RuntimeError("bulk release underflow")
+        flat[unique] -= counts.astype(flat.dtype)
 
     def reset(self) -> None:
         """Clear all occupancy (failed planes stay failed)."""
@@ -179,12 +283,13 @@ class WavelengthAllocator:
             raise RuntimeError(f"plane {plane} already failed")
         if self.healthy_planes <= 1:
             raise RuntimeError("cannot fail the last healthy plane")
-        dropped = []
         occ = self._occupancy[:, :, plane]
-        for src, dst in zip(*np.nonzero(occ)):
-            dropped.append((int(src), int(dst), int(occ[src, dst])))
+        srcs, dsts = np.nonzero(occ)
+        dropped = list(zip(srcs.tolist(), dsts.tolist(),
+                           occ[srcs, dsts].tolist()))
         occ.fill(0)
         self._failed_planes.add(plane)
+        self._healthy[plane] = False
         return dropped
 
     def repair_plane(self, plane: int) -> None:
@@ -192,6 +297,7 @@ class WavelengthAllocator:
         if plane not in self._failed_planes:
             raise RuntimeError(f"plane {plane} is not failed")
         self._failed_planes.discard(plane)
+        self._healthy[plane] = True
 
     # -- utilization metrics ----------------------------------------------------
 
@@ -199,8 +305,7 @@ class WavelengthAllocator:
         """Fraction of healthy sub-slots in use (diagonal excluded)."""
         total = (self.n_nodes * (self.n_nodes - 1)
                  * self.healthy_planes * self.flows_per_wavelength)
-        diag = sum(int(self._occupancy[i, i].sum())
-                   for i in range(self.n_nodes))
+        diag = int(np.einsum("iip->", self._occupancy))
         return (int(self._occupancy.sum()) - diag) / total
 
     def _check(self, src: int, dst: int) -> None:

@@ -35,7 +35,11 @@ from repro.network.electronic import (
 )
 from repro.network.reconfig import ReconfigurableFabric, SwitchConfiguration
 from repro.network.routing import RouteKind
-from repro.network.simulator import AWGRNetworkSimulator
+from repro.network.simulator import (
+    DIRECT,
+    AWGRNetworkSimulator,
+    sequential_sum,
+)
 from repro.network.traffic import Flow
 from repro.network.wss_simulator import WSSNetworkSimulator
 from repro.scenarios.scenario import ScenarioEvent
@@ -111,6 +115,13 @@ class AWGRBackend:
     ``value`` (active flows riding a failed plane are dropped, exactly
     as :meth:`~repro.network.wavelength.WavelengthAllocator.fail_plane`
     models).
+
+    Epochs are admitted through the simulator's vectorized
+    :meth:`~repro.network.simulator.AWGRNetworkSimulator.offer_batch`
+    hot path by default; ``batch_admission=False`` restores the
+    per-flow reference loop. Both produce bit-identical
+    :class:`EpochReport` streams for the same seed, so registered
+    scenario sweeps replay unchanged.
     """
 
     n_nodes: int
@@ -124,6 +135,7 @@ class AWGRBackend:
     #: indirection the way long-lived production flows do.
     duration_slots: int = 2
     rng_seed: int = 0
+    batch_admission: bool = True
     name: str = "awgr"
 
     def __post_init__(self) -> None:
@@ -132,10 +144,22 @@ class AWGRBackend:
             flows_per_wavelength=self.flows_per_wavelength,
             gbps_per_wavelength=self.gbps_per_wavelength,
             state_update_period=self.state_update_period,
-            rng_seed=self.rng_seed)
+            rng_seed=self.rng_seed,
+            batch_admission=self.batch_admission)
         self._epoch = 0
 
     def step(self, flows: list[Flow]) -> EpochReport:
+        if self.batch_admission:
+            report = self._step_batched(flows)
+        else:
+            report = self._step_scalar(flows)
+        self.sim.step()
+        report.extras["healthy_planes"] = (
+            self.sim.allocator.healthy_planes)
+        self._epoch += 1
+        return report
+
+    def _step_scalar(self, flows: list[Flow]) -> EpochReport:
         report = EpochReport(epoch=self._epoch)
         for flow in flows:
             decision = self.sim.offer(flow, self.duration_slots)
@@ -149,10 +173,20 @@ class AWGRBackend:
             if decision.kind is not RouteKind.DIRECT:
                 report.indirect += 1
             report.slowdowns.append(float(decision.hops))
-        self.sim.step()
-        report.extras["healthy_planes"] = (
-            self.sim.allocator.healthy_planes)
-        self._epoch += 1
+        return report
+
+    def _step_batched(self, flows: list[Flow]) -> EpochReport:
+        report = EpochReport(epoch=self._epoch)
+        decisions = self.sim.offer_batch(flows, self.duration_slots)
+        carried = decisions.carried_mask
+        report.offered = len(flows)
+        report.carried = int(np.count_nonzero(carried))
+        report.blocked = report.offered - report.carried
+        report.indirect = int(np.count_nonzero(
+            carried & (decisions.kinds != DIRECT)))
+        report.offered_gbps = sequential_sum(0.0, decisions.gbps)
+        report.carried_gbps = sequential_sum(0.0, decisions.gbps[carried])
+        report.slowdowns = decisions.hops[carried].astype(float).tolist()
         return report
 
     def apply_event(self, event: ScenarioEvent) -> bool:

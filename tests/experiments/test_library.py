@@ -13,7 +13,9 @@ class TestRegistry:
                 "placement_bandwidth", "case_a_vs_case_b",
                 "isoperf", "ablation_awgr_planes",
                 "ablation_plane_failure", "fig5_connectivity",
-                "power_overhead", "scenario_diurnal_cori",
+                "power_overhead", "fig6_cpu_slowdown",
+                "fig8_latency_sensitivity", "table4_switch_configs",
+                "scenario_diurnal_cori",
                 "scenario_reconfig_lag"} <= set(EXPERIMENTS)
 
     def test_every_spec_describes_itself(self):
@@ -72,6 +74,25 @@ class TestEquivalenceWithSerialLoops:
             rows = SweepRunner(workers=1).run(
                 get_experiment(name)).rows()
             assert len(rows) == 1
+
+    def test_cpu_slowdown_grid_point_matches_direct_run(self):
+        """One fig8 task == one iteration of the old serial loop."""
+        import numpy as np
+
+        from repro.core.slowdown import run_cpu_study
+
+        spec = get_experiment("fig8_latency_sensitivity")
+        row = next(r for r in SweepRunner(workers=1).run(spec).rows()
+                   if r["latency_ns"] == 25.0 and r["core"] == "ooo")
+        direct = [r.slowdown for r in run_cpu_study(25.0, cores=("ooo",))]
+        assert row["overall_mean_slowdown"] == float(np.mean(direct))
+        assert row["overall_max_slowdown"] == float(np.max(direct))
+
+    def test_table4_tasks_cover_all_families(self):
+        rows = SweepRunner(workers=1).run(
+            get_experiment("table4_switch_configs")).rows()
+        assert {r["switch_type"] for r in rows} == {
+            "awgr", "spatial", "wave-selective"}
 
     def test_case_sweep_covers_both_fabrics(self):
         rows = SweepRunner(workers=1).run(

@@ -85,6 +85,69 @@ class TestBitmaps:
         assert alloc.slot_bitmap(0)[1] == 0
 
 
+class TestVectorizedAllocation:
+    def test_allocate_matches_slot_by_slot_fill(self, alloc):
+        """One allocate(slots=k) == k allocate(slots=1) calls."""
+        other = WavelengthAllocator(n_nodes=8, planes=5,
+                                    flows_per_wavelength=8)
+        alloc.allocate(0, 1, slots=3)
+        other.allocate(0, 1, slots=3)
+        got = alloc.allocate(0, 1, slots=7)
+        want = [other.allocate(0, 1, slots=1)[0] for _ in range(7)]
+        assert got == want
+        assert np.array_equal(alloc._occupancy, other._occupancy)
+
+    def test_ties_break_toward_lowest_plane(self, alloc):
+        assert alloc.allocate(0, 1, slots=2) == [0, 1]
+        assert alloc.allocate(0, 1, slots=1) == [2]
+
+    def test_allocate_skips_failed_planes(self, alloc):
+        alloc.fail_plane(0)
+        alloc.fail_plane(2)
+        planes = alloc.allocate(0, 1, slots=6)
+        assert set(planes) == {1, 3, 4}
+        assert planes[:3] == [1, 3, 4]
+
+    def test_allocate_pairs_matches_sequential(self, alloc):
+        other = WavelengthAllocator(n_nodes=8, planes=5,
+                                    flows_per_wavelength=8)
+        other.fail_plane(1)
+        alloc.fail_plane(1)
+        src = np.array([0, 2, 5])
+        dst = np.array([1, 3, 4])
+        totals = np.array([7, 1, 12])
+        seq = alloc.allocate_pairs(src, dst, totals)
+        for s, d, t, row in zip(src, dst, totals, seq):
+            assert row[:t].tolist() == other.allocate(int(s), int(d),
+                                                      int(t))
+            assert (row[t:] == -1).all()
+        assert np.array_equal(alloc._occupancy, other._occupancy)
+
+    def test_release_tokens_matches_release(self, alloc):
+        planes = alloc.allocate(0, 1, slots=10)
+        alloc.allocate(0, 2, slots=4)
+        alloc.release_tokens(np.array([0] * 10), np.array([1] * 10),
+                             np.array(planes))
+        assert alloc.used_slots(0, 1) == 0
+        assert alloc.used_slots(0, 2) == 4
+
+    def test_release_tokens_underflow_raises(self, alloc):
+        alloc.allocate(0, 1, slots=1)
+        with pytest.raises(RuntimeError):
+            alloc.release_tokens(np.array([0, 0]), np.array([1, 1]),
+                                 np.array([0, 0]))
+
+    def test_free_wavelengths_honors_failed_planes(self, alloc):
+        alloc.allocate(0, 1, slots=2)  # occupies planes 0 and 1
+        alloc.fail_plane(3)
+        assert alloc.free_wavelengths(0, 1) == 2  # planes 2 and 4
+
+    def test_utilization_excludes_diagonal_vectorized(self, alloc):
+        alloc._occupancy[2, 2, 0] = 5  # corrupt diagonal on purpose
+        alloc.allocate(0, 1, slots=4)
+        assert alloc.utilization() == pytest.approx(4 / (8 * 7 * 40))
+
+
 class TestValidation:
     def test_bad_indices(self, alloc):
         with pytest.raises(ValueError):
