@@ -19,7 +19,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _sweep():
     result = SweepRunner(workers=1).run(
-        get_experiment("ablation_awgr_planes"))
+        get_experiment("ablation_awgr_planes")).raise_on_failure()
     return [{
         "planes": row["planes"],
         "direct_pair_gbps": row["planes"] * 25.0,

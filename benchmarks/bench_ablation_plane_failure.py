@@ -19,7 +19,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _sweep():
     result = SweepRunner(workers=1).run(
-        get_experiment("ablation_plane_failure"))
+        get_experiment("ablation_plane_failure")).raise_on_failure()
     return [{
         "failed_planes": row["failed_planes"],
         "healthy_planes": 5 - row["failed_planes"],

@@ -19,7 +19,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _sweep():
     result = SweepRunner(workers=1).run(
-        get_experiment("ablation_staleness"))
+        get_experiment("ablation_staleness")).raise_on_failure()
     return [{
         "update_period_slots": row["update_period"],
         "acceptance": row["acceptance_ratio"],

@@ -23,7 +23,7 @@ _COLUMNS = ("fabric", "throughput_ratio", "reconfigurations",
 
 def _experiment():
     result = SweepRunner(workers=1).run(
-        get_experiment("case_a_vs_case_b"))
+        get_experiment("case_a_vs_case_b")).raise_on_failure()
     return [{k: row[k] for k in _COLUMNS} for row in result.rows()]
 
 

@@ -18,7 +18,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _build_and_verify():
     result = SweepRunner(workers=1).run(
-        get_experiment("fig5_connectivity"))
+        get_experiment("fig5_connectivity")).raise_on_failure()
     return result.rows()[0]
 
 

@@ -20,7 +20,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _sweep():
     return SweepRunner(workers=1).run(
-        get_experiment("fig6_cpu_slowdown")).rows()
+        get_experiment("fig6_cpu_slowdown")).raise_on_failure().rows()
 
 
 def test_fig6_cpu_slowdown(benchmark):

@@ -17,7 +17,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _sweep():
     return SweepRunner(workers=1).run(
-        get_experiment("fig8_latency_sensitivity")).rows()
+        get_experiment("fig8_latency_sensitivity")).raise_on_failure().rows()
 
 
 def test_fig8_latency_sensitivity(benchmark):

@@ -21,7 +21,7 @@ _KEEP = ("offered", "direct", "indirect", "double_indirect", "blocked",
 
 def _experiment():
     result = SweepRunner(workers=1).run(
-        get_experiment("indirect_routing"))
+        get_experiment("indirect_routing")).raise_on_failure()
     labels = {1: "fresh-state", 40: "stale-state"}
     return [{"state": labels[row["update_period"]],
              **{k: row[k] for k in _KEEP}}

@@ -17,7 +17,8 @@ from repro.experiments import SweepRunner, get_experiment
 
 
 def _full_chain():
-    result = SweepRunner(workers=1).run(get_experiment("isoperf"))
+    result = SweepRunner(workers=1).run(
+        get_experiment("isoperf")).raise_on_failure()
     return result.rows()[0]
 
 

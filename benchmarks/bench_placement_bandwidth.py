@@ -17,7 +17,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _experiment():
     result = SweepRunner(workers=1).run(
-        get_experiment("placement_bandwidth"))
+        get_experiment("placement_bandwidth")).raise_on_failure()
     return result.rows()[0]
 
 

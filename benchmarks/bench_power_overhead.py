@@ -17,7 +17,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _run():
     result = SweepRunner(workers=1).run(
-        get_experiment("power_overhead"))
+        get_experiment("power_overhead")).raise_on_failure()
     return result.rows()[0]
 
 

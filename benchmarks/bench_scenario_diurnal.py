@@ -20,7 +20,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _sweep():
     result = SweepRunner(workers=1).run(
-        get_experiment("scenario_diurnal_cori"))
+        get_experiment("scenario_diurnal_cori")).raise_on_failure()
     return [{
         "fabric": row["fabric"],
         "offered_gbps": row["offered_gbps"],

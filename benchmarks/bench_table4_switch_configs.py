@@ -16,7 +16,7 @@ from repro.experiments import SweepRunner, get_experiment
 
 def _sweep():
     return SweepRunner(workers=1).run(
-        get_experiment("table4_switch_configs")).rows()
+        get_experiment("table4_switch_configs")).raise_on_failure().rows()
 
 
 def test_table4_switch_configs(benchmark):

@@ -92,8 +92,8 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as cache_dir:
         runner = SweepRunner(workers=1, cache=ResultCache(cache_dir))
         spec = get_experiment("scenario_diurnal_cori")
-        first = runner.run(spec)
-        second = runner.run(spec)
+        first = runner.run(spec).raise_on_failure()
+        second = runner.run(spec).raise_on_failure()
         assert second.rows() == first.rows()
         print(render_kv({
             "first run": first.summary(),

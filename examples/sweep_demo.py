@@ -60,7 +60,7 @@ CUSTOM = ExperimentSpec(
 def main() -> None:
     # 1. A registered sweep, exactly as `repro sweep` runs it.
     registered = SweepRunner(workers=1).run(
-        get_experiment("ablation_staleness"))
+        get_experiment("ablation_staleness")).raise_on_failure()
     print(render_sweep(registered,
                        columns=["update_period", "acceptance_ratio",
                                 "double_indirect",
@@ -72,7 +72,7 @@ def main() -> None:
 
         # 2. Custom 2-D grid, fanned out over two worker processes.
         print()
-        first = runner.run(CUSTOM)
+        first = runner.run(CUSTOM).raise_on_failure()
         print(render_sweep(first,
                            columns=["planes", "update_period",
                                     "acceptance_ratio",

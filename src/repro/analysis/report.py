@@ -125,8 +125,15 @@ def aggregate_ci(rows: list[dict], by: str, metrics: list[str],
 
 def render_sweep(sweep_result, columns: list[str] | None = None,
                  precision: int = 3) -> str:
-    """Render a sweep result as a table plus its one-line summary."""
-    table = render_table(sweep_rows(sweep_result, columns),
-                         precision=precision,
+    """Render a sweep result as a table plus its one-line summary.
+
+    Sweeps where every task failed (or a shard ran an empty slice)
+    have no metric rows; the summary line still renders.
+    """
+    rows = sweep_rows(sweep_result, columns)
+    if not rows:
+        return f"Sweep: {sweep_result.spec_name} (no completed " \
+               f"tasks)\n\n{sweep_result.summary()}"
+    table = render_table(rows, precision=precision,
                          title=f"Sweep: {sweep_result.spec_name}")
     return f"{table}\n\n{sweep_result.summary()}"

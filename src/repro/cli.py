@@ -206,9 +206,32 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
                else default_workers())
     if workers < 1:
         raise SystemExit("sweep: --workers must be >= 1")
-    runner = SweepRunner(workers=workers, cache=cache)
+    executor = args.executor
+    shard_index = shard_count = None
+    if args.shard is not None:
+        try:
+            index_s, count_s = args.shard.split("/", 1)
+            shard_index, shard_count = int(index_s), int(count_s)
+        except ValueError:
+            raise SystemExit("sweep: --shard must look like I/N "
+                             "(e.g. 0/4)") from None
+        if not 0 <= shard_index < shard_count:
+            raise SystemExit("sweep: --shard index must be in [0, N)")
+        executor = "shard"
+        if cache is None:
+            raise SystemExit("sweep: sharding needs the shared result "
+                             "cache (drop --no-cache)")
+    elif executor == "shard":
+        raise SystemExit("sweep: --executor shard needs --shard I/N")
+    runner = SweepRunner(workers=workers, cache=cache,
+                         executor=executor, shard_index=shard_index,
+                         shard_count=shard_count)
     result = runner.run(spec, force=args.force)
     print(render_sweep(result))
+    if result.n_failed:
+        for failure in result.failures():
+            print(f"\nFAILED {failure.config}:\n{failure.error}")
+        raise SystemExit(1)
 
 
 def _cmd_scenario(args: argparse.Namespace) -> None:
@@ -216,6 +239,7 @@ def _cmd_scenario(args: argparse.Namespace) -> None:
     from repro.scenarios import (
         SCENARIOS,
         ScenarioRunner,
+        ShardedScenarioRunner,
         demo_scenario,
         get_scenario,
         make_backend,
@@ -243,12 +267,55 @@ def _cmd_scenario(args: argparse.Namespace) -> None:
             raise SystemExit("scenario: --epochs must be >= 1")
         scenario = scenario.with_epochs(args.epochs)
     title = f"Scenario '{scenario.name}' on {args.backend}"
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit("scenario: --shards must be >= 1")
+        if args.repeats > 1:
+            raise SystemExit("scenario: --repeats and --shards are "
+                             "mutually exclusive")
+        if args.seeding != "per-epoch":
+            raise SystemExit(
+                "scenario: --shards requires per-epoch seeding "
+                "(sequential streams are not shardable)")
+        if (args.shard_index is not None
+                and not 0 <= args.shard_index < args.shards):
+            raise SystemExit("scenario: --shard-index must be in "
+                             "[0, --shards)")
+        if args.chunk_epochs < 1:
+            raise SystemExit("scenario: --chunk-epochs must be >= 1")
+        if args.workers < 1:
+            raise SystemExit("scenario: --workers must be >= 1")
+        from repro.experiments import ResultCache
+        runner = ShardedScenarioRunner(
+            scenario, backend=args.backend,
+            chunk_epochs=args.chunk_epochs, shards=args.shards,
+            shard_index=args.shard_index, base_seed=args.seed,
+            cache=ResultCache(args.cache_dir), workers=args.workers)
+        result = runner.run(resume=args.resume)
+        print(render_table(
+            result.rows(),
+            title=f"{title} — {args.shards}-shard chunk replay"))
+        print()
+        print(result.summary())
+        if result.complete:
+            print()
+            print(render_kv(result.report().as_dict(),
+                            title="Aggregate"))
+        if result.n_failed:
+            for chunk in result.chunks:
+                if chunk.state == "failed":
+                    print(f"\nFAILED chunk {chunk.index} "
+                          f"[{chunk.start}, {chunk.stop}): "
+                          f"{chunk.error}")
+            raise SystemExit(1)
+        return
     if args.repeats > 1:
         metrics = run_replicated(
             scenario,
             lambda seed: make_backend(args.backend, scenario.n_nodes,
                                       seed=seed),
-            repeats=args.repeats, base_seed=args.seed)
+            repeats=args.repeats, base_seed=args.seed,
+            seeding=args.seeding)
         rows = [{"metric": name, **ci}
                 for name, ci in metrics.items()]
         print(render_table(
@@ -257,7 +324,8 @@ def _cmd_scenario(args: argparse.Namespace) -> None:
         return
     backend = make_backend(args.backend, scenario.n_nodes,
                            seed=args.seed)
-    report = ScenarioRunner(scenario, backend).run(seed=args.seed)
+    report = ScenarioRunner(scenario, backend,
+                            seeding=args.seeding).run(seed=args.seed)
     print(render_table(report.rows(), title=f"{title} — per-epoch"))
     print()
     print(render_kv(report.as_dict(), title="Aggregate"))
@@ -334,6 +402,17 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--force", action="store_true",
                            help="ignore cached results but refresh "
                                 "them")
+            p.add_argument("--executor", default="auto",
+                           choices=("auto", "inline", "process",
+                                    "shard"),
+                           help="execution backend (default: auto — "
+                                "inline for one worker, process pool "
+                                "otherwise)")
+            p.add_argument("--shard", default=None, metavar="I/N",
+                           help="run only this machine's stable-hash "
+                                "slice of the grid (e.g. 0/4); point "
+                                "all N invocations at one --cache-dir "
+                                "and they converge on the full sweep")
         if name == "scenario":
             p.add_argument("scenario", nargs="?",
                            help="registered scenario name "
@@ -353,6 +432,35 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run the small built-in demo scenario")
             p.add_argument("--list", action="store_true",
                            help="list registered scenarios and exit")
+            p.add_argument("--seeding", default="per-epoch",
+                           choices=("per-epoch", "sequential"),
+                           help="epoch-seed mode: per-epoch (default, "
+                                "shardable) or sequential (pre-"
+                                "sharding compatibility streams)")
+            p.add_argument("--shards", type=int, default=None,
+                           help="run as a chunked, checkpointed "
+                                "replay split across N shards "
+                                "(per-epoch seeding)")
+            p.add_argument("--shard-index", type=int, default=None,
+                           help="with --shards: run only this shard's "
+                                "chunks (omit to drive every chunk "
+                                "from this process)")
+            p.add_argument("--chunk-epochs", type=int, default=1440,
+                           help="epochs per checkpointed chunk "
+                                "(default: 1440, one day of 1-minute "
+                                "epochs)")
+            p.add_argument("--workers", type=int, default=1,
+                           help="process-pool width for this "
+                                "process's chunks (default: 1)")
+            p.add_argument("--cache-dir", default=".repro-cache",
+                           help="chunk checkpoint directory, shared "
+                                "by all shards (default: "
+                                ".repro-cache)")
+            p.add_argument("--resume", action="store_true",
+                           help="load chunk checkpoints already in "
+                                "the cache instead of recomputing "
+                                "them (interrupted-run resume / "
+                                "multi-shard assembly)")
     sub.add_parser("all", help="run every experiment in paper order")
     return parser
 

@@ -8,6 +8,15 @@ registered sweeps.
 """
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.executors import (
+    EXECUTORS,
+    InlineExecutor,
+    ProcessPoolSweepExecutor,
+    ShardExecutor,
+    TaskOutcome,
+    make_executor,
+    shard_of,
+)
 from repro.experiments.library import EXPERIMENTS, get_experiment
 from repro.experiments.runner import (
     SweepResult,
@@ -24,16 +33,23 @@ from repro.experiments.spec import (
 )
 
 __all__ = [
+    "EXECUTORS",
     "EXPERIMENTS",
     "ExperimentSpec",
+    "InlineExecutor",
+    "ProcessPoolSweepExecutor",
     "ResultCache",
+    "ShardExecutor",
     "SweepResult",
     "SweepRunner",
     "SweepTask",
+    "TaskOutcome",
     "TaskResult",
     "canonical_json",
     "default_workers",
     "derive_seed",
     "get_experiment",
+    "make_executor",
+    "shard_of",
     "stable_hash",
 ]

@@ -82,9 +82,11 @@ class ResultCache:
     def load(self, task: SweepTask) -> dict | None:
         """Return cached metrics for the task, or None on miss.
 
-        Entries written by an older cache format, a different config
-        (hash collision guard), or a different derived seed are
-        treated as misses.
+        Entries written by an older cache format, a different spec
+        version, a different config (hash collision guard), or a
+        different derived seed are treated as misses. The version
+        check is explicit — the truncated path hash usually separates
+        versions already, but the stored field is the guarantee.
         """
         path = self.path_for(task)
         try:
@@ -92,6 +94,7 @@ class ResultCache:
         except (FileNotFoundError, json.JSONDecodeError):
             return None
         if (entry.get("format") != CACHE_FORMAT
+                or entry.get("version") != task.version
                 or entry.get("config") != json.loads(
                     encode_metrics(dict(task.config)))
                 or entry.get("seed") != task.seed):
@@ -138,10 +141,17 @@ class ResultCache:
                 pass
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        Tolerates entries another process removes concurrently (an
+        eviction or a clear racing this one), matching :meth:`_evict`.
+        """
         removed = 0
         for path in self.root.glob("*.json"):
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
             removed += 1
         return removed
 

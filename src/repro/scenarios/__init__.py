@@ -56,31 +56,55 @@ from repro.scenarios.library import (
     reconfig_lag_scenario,
     scenario_metrics,
     scenario_task,
+    week_cori_scenario,
 )
 from repro.scenarios.runner import (
     ScenarioReport,
     ScenarioRunner,
     run_replicated,
 )
-from repro.scenarios.scenario import Scenario, ScenarioEvent
+from repro.scenarios.scenario import (
+    SEEDING_MODES,
+    Scenario,
+    ScenarioEvent,
+    derive_epoch_seed,
+)
+from repro.scenarios.sharding import (
+    ChunkKey,
+    ChunkStatus,
+    ShardedScenarioResult,
+    ShardedScenarioRunner,
+    chunk_backend_seed,
+    chunk_ranges,
+    execute_chunk,
+)
 
 __all__ = [
     "AWGRBackend",
     "BACKENDS",
+    "ChunkKey",
+    "ChunkStatus",
     "ElectronicBackend",
     "EPISODE_KINDS",
     "Episode",
     "EpochReport",
     "FabricBackend",
     "SCENARIOS",
+    "SEEDING_MODES",
     "Scenario",
     "ScenarioEvent",
     "ScenarioReport",
     "ScenarioRunner",
+    "ShardedScenarioResult",
+    "ShardedScenarioRunner",
     "WSSBackend",
+    "chunk_backend_seed",
+    "chunk_ranges",
     "demo_scenario",
+    "derive_epoch_seed",
     "diurnal_cori_scenario",
     "envelope_value",
+    "execute_chunk",
     "get_scenario",
     "make_backend",
     "reconfig_lag_scenario",
@@ -88,4 +112,5 @@ __all__ = [
     "sample_count",
     "scenario_metrics",
     "scenario_task",
+    "week_cori_scenario",
 ]

@@ -91,6 +91,35 @@ class EpochReport:
             **self.extras,
         }
 
+    def to_dict(self) -> dict:
+        """Lossless JSON-stable form (unlike :meth:`as_row`, keeps the
+        raw slowdown samples) — the sharded runner's checkpoint unit."""
+        return {
+            "epoch": self.epoch,
+            "offered": self.offered,
+            "carried": self.carried,
+            "blocked": self.blocked,
+            "indirect": self.indirect,
+            "offered_gbps": self.offered_gbps,
+            "carried_gbps": self.carried_gbps,
+            "slowdowns": [float(s) for s in self.slowdowns],
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EpochReport":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded dicts)."""
+        return cls(
+            epoch=int(payload["epoch"]),
+            offered=int(payload["offered"]),
+            carried=int(payload["carried"]),
+            blocked=int(payload["blocked"]),
+            indirect=int(payload["indirect"]),
+            offered_gbps=float(payload["offered_gbps"]),
+            carried_gbps=float(payload["carried_gbps"]),
+            slowdowns=[float(s) for s in payload["slowdowns"]],
+            extras=dict(payload.get("extras", {})))
+
 
 @runtime_checkable
 class FabricBackend(Protocol):

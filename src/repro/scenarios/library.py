@@ -137,11 +137,71 @@ def reconfig_lag_scenario(n_nodes: int = 12,
         ))
 
 
+def week_cori_scenario(n_nodes: int = 16, days: int = 7,
+                       epochs_per_day: int = 1440) -> Scenario:
+    """Week-scale diurnal Cori replay at 1-minute epochs.
+
+    The sharded runner's flagship workload: seven diurnal cycles of
+    the §II-A Cori memory-bandwidth replay plus uniform chatter, a
+    nightly checkpoint burst toward the I/O node, and a mid-week
+    plane-failure transient (fails Wednesday noon, repaired eight
+    hours later). At 10080 epochs this is meant to be driven through
+    :class:`~repro.scenarios.sharding.ShardedScenarioRunner` with
+    per-day chunks (``chunk_epochs=1440``), one checkpoint per
+    simulated day.
+    """
+    n_epochs = days * epochs_per_day
+    cpu_nodes = list(range(n_nodes // 2))
+    mem_nodes = list(range(n_nodes // 2, n_nodes - n_nodes // 4))
+    io_node = n_nodes - 1
+    noon_wednesday = 3 * epochs_per_day + epochs_per_day // 2
+    repair = noon_wednesday + epochs_per_day // 3
+    return Scenario(
+        name="week_cori",
+        n_nodes=n_nodes,
+        n_epochs=n_epochs,
+        description=f"{days}-day diurnal Cori replay at 1-minute "
+                    "epochs with a mid-week plane failure (run "
+                    "sharded, per-day checkpoints)",
+        episodes=(
+            Episode(kind="cori-replay",
+                    envelope={"kind": "diurnal",
+                              "period": epochs_per_day,
+                              "low": 0.15, "high": 1.0},
+                    params={"nodes": cpu_nodes,
+                            "memory_nodes": mem_nodes,
+                            "resource": "memory_bandwidth",
+                            "peak_gbps": 1096.0}),
+            Episode(kind="uniform",
+                    flows={"dist": "poisson", "mean": 6},
+                    gbps=25.0,
+                    envelope={"kind": "diurnal",
+                              "period": epochs_per_day,
+                              "low": 0.3, "high": 1.0}),
+            # Nightly checkpoint: a burst converging on the I/O node
+            # for the first ~5% of every day (phase 0 = midnight).
+            Episode(kind="hotspot",
+                    flows={"dist": "pareto", "minimum": 12,
+                           "alpha": 1.6},
+                    gbps=25.0,
+                    envelope={"kind": "burst",
+                              "period": epochs_per_day,
+                              "duty": 0.05},
+                    params={"hotspot": io_node}),
+        ),
+        events=(
+            ScenarioEvent(epoch=noon_wednesday, action="fail_plane",
+                          value=0),
+            ScenarioEvent(epoch=repair, action="repair_plane",
+                          value=0),
+        ))
+
+
 #: Canonical instances served by ``repro scenario`` and the tests.
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (demo_scenario(), diurnal_cori_scenario(),
-              reconfig_lag_scenario())
+              reconfig_lag_scenario(), week_cori_scenario())
 }
 
 
@@ -166,7 +226,9 @@ def scenario_task(config: dict, seed: int):
     keys (:data:`BACKEND_PARAM_KEYS`) pass through to the constructor.
     ``config["rng_seed"]`` pins the run for bit-identical replays;
     omit it to let the engine-derived ``seed`` resample per task (the
-    ``repeated()`` multi-seed path).
+    ``repeated()`` multi-seed path). ``config["seeding"]`` selects the
+    epoch-seed mode ("per-epoch" default; "sequential" replays the
+    pre-sharding threaded-generator streams).
     """
     described = config["scenario"]
     scenario = (get_scenario(described) if isinstance(described, str)
@@ -177,7 +239,9 @@ def scenario_task(config: dict, seed: int):
     params = {k: config[k] for k in BACKEND_PARAM_KEYS if k in config}
     backend = make_backend(config["backend"], scenario.n_nodes,
                            seed=run_seed, **params)
-    return ScenarioRunner(scenario, backend).run(seed=run_seed)
+    return ScenarioRunner(
+        scenario, backend,
+        seeding=config.get("seeding", "per-epoch")).run(seed=run_seed)
 
 
 def scenario_metrics(report) -> dict:

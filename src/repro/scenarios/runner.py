@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.analysis.stats import mean_ci, quantiles
 from repro.network.traffic import as_generator
 from repro.scenarios.backends import EpochReport, FabricBackend
-from repro.scenarios.scenario import Scenario
+from repro.scenarios.scenario import SEEDING_MODES, Scenario
 
 
 @dataclass
@@ -51,9 +51,13 @@ class ScenarioReport:
 
     @property
     def throughput_ratio(self) -> float:
-        """Accepted / offered bandwidth over the whole run."""
+        """Accepted / offered bandwidth over the whole run.
+
+        A zero-offered run reports 0.0, not 1.0 — an idle scenario
+        must never read as "perfect fabric" in aggregated CI tables.
+        """
         offered = self.offered_gbps
-        return self.carried_gbps / offered if offered > 0 else 1.0
+        return self.carried_gbps / offered if offered > 0 else 0.0
 
     @property
     def acceptance_ratio(self) -> float:
@@ -107,14 +111,35 @@ class ScenarioReport:
 
 @dataclass
 class ScenarioRunner:
-    """Drives one scenario through one fabric backend."""
+    """Drives one scenario through one fabric backend.
+
+    Parameters
+    ----------
+    scenario, backend:
+        What to play and what to play it against.
+    seeding:
+        ``"per-epoch"`` (default) derives an independent counter-based
+        seed per epoch via
+        :func:`~repro.scenarios.scenario.derive_epoch_seed`, so the
+        epoch stream is bit-identical to what
+        :class:`~repro.scenarios.sharding.ShardedScenarioRunner`
+        workers generate for their slices. ``"sequential"`` restores
+        the historical single threaded generator (not bit-compatible
+        with per-epoch mode — see the module docstring of
+        :mod:`repro.scenarios.scenario` for the bit-exactness story).
+    """
 
     scenario: Scenario
     backend: FabricBackend
+    seeding: str = "per-epoch"
 
     def run(self, seed: int = 0) -> ScenarioReport:
         """Play the scenario end to end and aggregate the epochs."""
-        rng = as_generator(seed)
+        if self.seeding not in SEEDING_MODES:
+            raise ValueError(f"unknown seeding {self.seeding!r} "
+                             f"(known: {SEEDING_MODES})")
+        sequential_rng = (as_generator(seed)
+                          if self.seeding == "sequential" else None)
         report = ScenarioReport(scenario=self.scenario.name,
                                 backend=self.backend.name)
         for epoch in range(self.scenario.n_epochs):
@@ -123,13 +148,17 @@ class ScenarioRunner:
                     report.events_applied += 1
                 else:
                     report.events_ignored += 1
-            batch = self.scenario.batch(epoch, rng)
+            if sequential_rng is not None:
+                batch = self.scenario.batch(epoch, sequential_rng)
+            else:
+                batch = self.scenario.batch_at(epoch, base_seed=seed)
             report.epochs.append(self.backend.step(batch))
         return report
 
 
 def run_replicated(scenario: Scenario, make_backend_fn, repeats: int,
-                   base_seed: int = 0, confidence: float = 0.95
+                   base_seed: int = 0, confidence: float = 0.95,
+                   seeding: str = "per-epoch"
                    ) -> dict[str, dict[str, float]]:
     """Run a scenario ``repeats`` times at seeds ``base_seed + i`` and
     reduce each aggregate metric to a mean with a normal-approx CI.
@@ -143,8 +172,8 @@ def run_replicated(scenario: Scenario, make_backend_fn, repeats: int,
     for i in range(repeats):
         seed = base_seed + i
         backend = make_backend_fn(seed)
-        runs.append(ScenarioRunner(scenario, backend).run(seed=seed)
-                    .as_dict())
+        runs.append(ScenarioRunner(scenario, backend, seeding=seeding)
+                    .run(seed=seed).as_dict())
     numeric = [k for k, v in runs[0].items()
                if isinstance(v, (int, float)) and not isinstance(v, bool)]
     return {k: mean_ci([r[k] for r in runs], confidence)

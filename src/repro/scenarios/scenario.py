@@ -5,20 +5,63 @@ phases into one time-varying workload over ``n_epochs`` discrete
 epochs, plus a script of :class:`ScenarioEvent` interventions (plane
 failures, repairs, reconfiguration-lag changes) that the fabric
 backends apply mid-run. Scenarios are pure descriptions — all
-randomness comes from the generator the runner threads through — and
+randomness comes from the generator the caller supplies — and
 round-trip losslessly through ``to_config``/``from_config`` so they
 can ride inside :class:`~repro.experiments.spec.ExperimentSpec`
 configs and hash stably into the result cache.
+
+Epoch randomness comes in two flavors:
+
+* **counter-based per-epoch seeds** (:func:`derive_epoch_seed`,
+  :meth:`Scenario.batch_at`) — every epoch owns an independent RNG
+  derived from (scenario name, base seed, epoch counter), so epoch
+  ``k``'s flows never depend on epochs ``0..k-1`` having been drawn.
+  This is what makes epoch ranges *shardable*: any worker can
+  generate any ``[start, stop)`` slice bit-identically to the full
+  run. The default everywhere since the sharded runner landed.
+* **one sequential generator** (:meth:`Scenario.batch` /
+  :meth:`Scenario.batches`) — the historical mode, where a single
+  RNG threads through all epochs in order. Kept as an explicit
+  compatibility path (``seeding="sequential"`` on the runners) for
+  replaying results pinned before per-epoch seeding; its streams are
+  *not* bit-compatible with the per-epoch mode.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
 from repro.network.traffic import Flow, as_generator
 from repro.scenarios.episodes import Episode
+
+#: Seeding modes the runners accept.
+SEEDING_MODES = ("per-epoch", "sequential")
+
+
+def derive_epoch_seed(scenario: "Scenario | str", epoch: int,
+                      base_seed: int = 0,
+                      stream: str = "episodes") -> int:
+    """Deterministic 63-bit seed for one epoch of one scenario.
+
+    Counter-based (hash of scenario name, base seed, epoch, stream
+    label): no draw depends on any other epoch's draws, so epoch
+    ranges can be generated independently and still match the full
+    run bit for bit. ``stream`` separates independent consumers —
+    ``"episodes"`` for traffic generation, ``"backend"`` for the
+    fabric RNG a chunk runner constructs.
+
+    Implemented with :mod:`hashlib` directly (mirroring
+    ``repro.experiments.spec.stable_hash``) so this package keeps its
+    one-directional no-``repro.experiments``-import rule.
+    """
+    name = scenario if isinstance(scenario, str) else scenario.name
+    payload = (f"repro.scenarios.epoch:{stream}:{name}:"
+               f"{int(base_seed)}:{int(epoch)}")
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    return int(digest[:16], 16) & (2**63 - 1)
 
 #: Event actions the backends understand. Unknown actions are carried
 #: (for forward compatibility) but reported as ignored by the runner.
@@ -92,7 +135,12 @@ class Scenario:
         return [e for e in self.events if e.epoch == epoch]
 
     def batch(self, epoch: int, rng: np.random.Generator) -> list[Flow]:
-        """All active episodes' flows for one epoch, concatenated."""
+        """All active episodes' flows for one epoch, concatenated.
+
+        Draws from the caller's ``rng`` in place — the *sequential*
+        seeding mode. Use :meth:`batch_at` for the shardable
+        per-epoch-seed mode.
+        """
         flows: list[Flow] = []
         for episode in self.episodes:
             flows.extend(episode.generate(epoch, self.n_epochs,
@@ -100,9 +148,36 @@ class Scenario:
         return flows
 
     def batches(self, rng) -> list[list[Flow]]:
-        """Materialize every epoch's batch (seed-like or Generator)."""
+        """Materialize every epoch's batch from one threaded generator
+        (seed-like or Generator; the *sequential* seeding mode)."""
         rng = as_generator(rng)
         return [self.batch(epoch, rng) for epoch in range(self.n_epochs)]
+
+    def epoch_rng(self, epoch: int,
+                  base_seed: int = 0) -> np.random.Generator:
+        """Fresh generator for one epoch's independent seed stream."""
+        return np.random.default_rng(
+            derive_epoch_seed(self, epoch, base_seed))
+
+    def batch_at(self, epoch: int, base_seed: int = 0) -> list[Flow]:
+        """One epoch's flows under counter-based per-epoch seeding.
+
+        Independent of every other epoch: ``batch_at(k)`` is
+        bit-identical whether or not any other epoch was generated,
+        in this process or another.
+        """
+        return self.batch(epoch, self.epoch_rng(epoch, base_seed))
+
+    def batches_range(self, start: int, stop: int,
+                      base_seed: int = 0) -> list[list[Flow]]:
+        """Epoch batches for ``[start, stop)`` under per-epoch seeds —
+        the unit of work one scenario shard generates."""
+        if not 0 <= start <= stop <= self.n_epochs:
+            raise ValueError(
+                f"epoch range [{start}, {stop}) outside "
+                f"[0, {self.n_epochs})")
+        return [self.batch_at(epoch, base_seed)
+                for epoch in range(start, stop)]
 
     # -- JSON-stable round trip ------------------------------------------------
 

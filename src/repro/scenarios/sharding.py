@@ -1,0 +1,412 @@
+"""Sharded, checkpointed scenario execution for week-scale replays.
+
+:class:`ShardedScenarioRunner` splits a scenario's epoch stream into
+fixed-size *chunks* (e.g. one day of 1-minute epochs), runs each chunk
+on a fresh backend with counter-based per-epoch seeds, and checkpoints
+every chunk's :class:`~repro.scenarios.backends.EpochReport` list
+through a content-addressed result cache. Because per-epoch seeding
+(:func:`~repro.scenarios.scenario.derive_epoch_seed`) makes every
+chunk's traffic independent of every other chunk's draws, the chunk
+decomposition is exact: any worker can compute any chunk, in any
+order, bit-identically.
+
+That buys three things at once:
+
+* **sharding** — N processes (or machines) pointed at the same cache
+  directory each own the ``index % shards == shard_index`` slice of
+  the chunk list and converge on the full replay without any
+  coordination service;
+* **resume** — an interrupted week-scale replay restarts from the
+  last completed chunk: cached chunks load instantly, only the
+  missing tail is recomputed;
+* **identical aggregates** — a run is fully determined by (scenario,
+  backend, chunk size, base seed), never by how many shards computed
+  it or how often it was interrupted.
+
+Chunk-boundary semantics: each chunk starts a *fresh* backend, first
+replaying the events scripted before the chunk (so persistent state —
+failed planes, reconfiguration settings — carries over), then stepping
+its epoch range. In-flight flows admitted in the previous chunk do
+not survive the boundary; this is the checkpoint granularity, exactly
+like restarting a simulation from a checkpoint file, and it is why
+``chunk_epochs`` is part of the run's cache identity. A single-chunk
+run is bit-identical to a monolithic per-epoch-seeded
+:class:`~repro.scenarios.runner.ScenarioRunner` run whose backend was
+seeded with :func:`chunk_backend_seed`.
+
+This module deliberately never imports ``repro.experiments`` (the
+dependency stays one-directional): the checkpoint store is duck-typed
+to :class:`~repro.experiments.cache.ResultCache` — anything with
+``load(key) -> dict | None`` and ``store(key, metrics)`` that reads
+the key's ``spec_name`` / ``version`` / ``config`` / ``seed`` /
+``config_hash`` attributes works.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.scenarios.backends import EpochReport, make_backend
+from repro.scenarios.runner import ScenarioReport
+from repro.scenarios.scenario import Scenario, derive_epoch_seed
+
+#: Bump when chunk-execution semantics change: invalidates every
+#: checkpointed chunk (the chunk analog of a spec's ``version``).
+CHUNK_FORMAT = 1
+
+
+def chunk_ranges(n_epochs: int,
+                 chunk_epochs: int) -> list[tuple[int, int]]:
+    """Split ``[0, n_epochs)`` into ``chunk_epochs``-sized ranges
+    (the last one ragged)."""
+    if n_epochs < 1:
+        raise ValueError("n_epochs must be >= 1")
+    if chunk_epochs < 1:
+        raise ValueError("chunk_epochs must be >= 1")
+    return [(start, min(start + chunk_epochs, n_epochs))
+            for start in range(0, n_epochs, chunk_epochs)]
+
+
+def chunk_backend_seed(scenario: Scenario | str, start: int,
+                       base_seed: int = 0) -> int:
+    """RNG seed for the fresh backend a chunk starting at ``start``
+    constructs — a pure function of the chunk's identity, so any
+    shard computing the chunk agrees.
+
+    The chunk at epoch 0 uses ``base_seed`` directly: a single-chunk
+    replay is then bit-identical to the monolithic per-epoch-seeded
+    :class:`~repro.scenarios.runner.ScenarioRunner` run with a
+    ``seed=base_seed`` backend (what ``repro scenario`` without
+    ``--shards`` builds). Later chunks derive theirs counter-style.
+    """
+    if start == 0:
+        return base_seed
+    return derive_epoch_seed(scenario, start, base_seed,
+                             stream="backend")
+
+
+def _stable_chunk_hash(config: dict) -> str:
+    """Deterministic hex digest of a chunk config (sorted-key JSON;
+    mirrors ``repro.experiments.spec.stable_hash`` without importing
+    it, preserving the one-directional dependency rule)."""
+    payload = json.dumps(config, sort_keys=True,
+                         separators=(",", ":"), default=list)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ChunkKey:
+    """Checkpoint-cache identity of one chunk (duck-types the
+    ``SweepTask`` surface :class:`~repro.experiments.cache.ResultCache`
+    reads: ``spec_name`` / ``version`` / ``config`` / ``seed`` /
+    ``config_hash``)."""
+
+    spec_name: str
+    version: int
+    config: dict
+    seed: int
+
+    @property
+    def config_hash(self) -> str:
+        return _stable_chunk_hash({"spec": self.spec_name,
+                                   "version": self.version,
+                                   "config": self.config})
+
+
+def execute_chunk(scenario_config: dict, backend: str,
+                  backend_params: dict, start: int, stop: int,
+                  base_seed: int) -> dict:
+    """Run epochs ``[start, stop)`` on a fresh backend; return the
+    JSON-stable checkpoint payload (module-level so it pickles into
+    worker processes).
+
+    Events scripted before ``start`` are replayed first so persistent
+    backend state (failed planes, reconfiguration lag) matches the
+    full run; only events firing inside the chunk count toward the
+    applied/ignored totals, so chunk sums equal the monolithic run's.
+    """
+    t0 = time.perf_counter()
+    scenario = Scenario.from_config(scenario_config)
+    fabric = make_backend(
+        backend, scenario.n_nodes,
+        seed=chunk_backend_seed(scenario, start, base_seed),
+        **backend_params)
+    replayed = 0
+    for epoch in range(start):
+        for event in scenario.events_at(epoch):
+            fabric.apply_event(event)
+            replayed += 1
+    applied = ignored = 0
+    reports: list[EpochReport] = []
+    for epoch in range(start, stop):
+        for event in scenario.events_at(epoch):
+            if fabric.apply_event(event):
+                applied += 1
+            else:
+                ignored += 1
+        report = fabric.step(scenario.batch_at(epoch, base_seed))
+        report.epoch = epoch  # absolute, not chunk-relative
+        reports.append(report)
+    return {"start": start, "stop": stop,
+            "events_applied": applied, "events_ignored": ignored,
+            "events_replayed": replayed,
+            "duration_s": time.perf_counter() - t0,
+            "epochs": [r.to_dict() for r in reports]}
+
+
+@dataclass(frozen=True)
+class ChunkStatus:
+    """How one chunk was satisfied in a sharded run."""
+
+    index: int
+    start: int
+    stop: int
+    #: "cached" (loaded from a checkpoint), "computed" (ran here),
+    #: "pending" (owned by another shard, not yet checkpointed), or
+    #: "failed" (raised here; ``error`` holds the message).
+    state: str
+    duration_s: float = 0.0
+    error: str | None = None
+
+
+@dataclass
+class ShardedScenarioResult:
+    """Everything one sharded run (or one shard of it) produced."""
+
+    scenario: str
+    backend: str
+    chunk_epochs: int
+    shards: int
+    shard_index: int | None
+    chunks: list[ChunkStatus] = field(default_factory=list)
+    payloads: dict[int, dict] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for c in self.chunks if c.state == "cached")
+
+    @property
+    def n_computed(self) -> int:
+        return sum(1 for c in self.chunks if c.state == "computed")
+
+    @property
+    def n_pending(self) -> int:
+        return sum(1 for c in self.chunks if c.state == "pending")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for c in self.chunks if c.state == "failed")
+
+    @property
+    def complete(self) -> bool:
+        """Does every chunk have a payload (cached or computed)?"""
+        return len(self.payloads) == len(self.chunks)
+
+    def report(self) -> ScenarioReport:
+        """Merge all chunk payloads into one :class:`ScenarioReport`.
+
+        Raises when chunks are pending or failed — aggregate over a
+        partial replay would silently misreport the horizon.
+        """
+        if not self.complete:
+            missing = [c.index for c in self.chunks
+                       if c.index not in self.payloads]
+            raise RuntimeError(
+                f"sharded run incomplete: chunks {missing} pending or "
+                "failed (run the owning shards, or rerun with "
+                "resume=True once their checkpoints exist)")
+        merged = ScenarioReport(scenario=self.scenario,
+                                backend=self.backend)
+        for index in sorted(self.payloads):
+            payload = self.payloads[index]
+            merged.epochs.extend(EpochReport.from_dict(e)
+                                 for e in payload["epochs"])
+            merged.events_applied += int(payload["events_applied"])
+            merged.events_ignored += int(payload["events_ignored"])
+        return merged
+
+    def rows(self) -> list[dict]:
+        """Per-chunk status table (the shard progress view)."""
+        return [{"chunk": c.index, "epochs": f"[{c.start}, {c.stop})",
+                 "state": c.state, "duration_s": c.duration_s}
+                for c in self.chunks]
+
+    def summary(self) -> str:
+        """One-line human summary of the sharded run."""
+        where = ("all shards" if self.shard_index is None
+                 else f"shard {self.shard_index}/{self.shards}")
+        failed = f", {self.n_failed} FAILED" if self.n_failed else ""
+        return (f"{self.scenario} on {self.backend}: "
+                f"{len(self.chunks)} chunk(s) of {self.chunk_epochs} "
+                f"epoch(s) ({self.n_cached} cached, "
+                f"{self.n_computed} computed, {self.n_pending} pending"
+                f"{failed}) as {where} in {self.wall_s:.2f}s")
+
+
+@dataclass
+class ShardedScenarioRunner:
+    """Chunked, shardable, resumable scenario execution.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to replay.
+    backend:
+        Backend name (:data:`~repro.scenarios.backends.BACKENDS`).
+    backend_params:
+        Keyword overrides for the backend constructor (must be
+        JSON-stable: they are part of every chunk's cache identity).
+    chunk_epochs:
+        Checkpoint granularity. 1440 = one day of 1-minute epochs.
+        Part of the run's identity: runs with different chunk sizes
+        have different (both valid) chunk-boundary semantics.
+    shards, shard_index:
+        ``shard_index=None`` (default) drives every chunk from this
+        process. An integer runs only the ``index % shards ==
+        shard_index`` slice, leaving the rest ``pending`` — launch one
+        process per index against a shared ``cache`` and any of them
+        (or a final ``shard_index=None`` pass with ``resume=True``)
+        can assemble the full report from the checkpoints.
+    base_seed:
+        Stirred into every per-epoch episode seed and every chunk's
+        backend seed.
+    cache:
+        Checkpoint store (duck-typed
+        :class:`~repro.experiments.cache.ResultCache`); ``None``
+        disables checkpointing (and therefore resume).
+    workers:
+        Process-pool width for this process's chunks; 1 runs inline.
+    """
+
+    scenario: Scenario
+    backend: str = "awgr"
+    backend_params: dict = field(default_factory=dict)
+    chunk_epochs: int = 1440
+    shards: int = 1
+    shard_index: int | None = None
+    base_seed: int = 0
+    cache: object | None = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if (self.shard_index is not None
+                and not 0 <= self.shard_index < self.shards):
+            raise ValueError("shard_index must be in [0, shards)")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    # -- chunk identity --------------------------------------------------------
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """The run's chunk decomposition (shard-independent)."""
+        return chunk_ranges(self.scenario.n_epochs, self.chunk_epochs)
+
+    def chunk_key(self, start: int, stop: int) -> ChunkKey:
+        """Checkpoint identity of one chunk. Deliberately excludes
+        ``shards``/``shard_index`` — any shard may reuse any other
+        shard's checkpoint."""
+        return ChunkKey(
+            spec_name=f"scenario-chunk-{self.scenario.name}",
+            version=CHUNK_FORMAT,
+            config={"scenario": self.scenario.to_config(),
+                    "backend": self.backend,
+                    "params": dict(self.backend_params),
+                    "start": start, "stop": stop,
+                    "base_seed": self.base_seed,
+                    "seeding": "per-epoch"},
+            seed=chunk_backend_seed(self.scenario, start,
+                                    self.base_seed))
+
+    def _owns(self, index: int) -> bool:
+        return (self.shard_index is None
+                or index % self.shards == self.shard_index)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, resume: bool = True) -> ShardedScenarioResult:
+        """Play (or finish playing) the scenario's chunk list.
+
+        With ``resume`` (default) chunks already checkpointed in the
+        cache are loaded instead of recomputed — the interrupted-run /
+        multi-shard convergence path. ``resume=False`` recomputes this
+        shard's chunks and refreshes their checkpoints in place.
+        """
+        t0 = time.perf_counter()
+        ranges = self.ranges()
+        result = ShardedScenarioResult(
+            scenario=self.scenario.name, backend=self.backend,
+            chunk_epochs=self.chunk_epochs, shards=self.shards,
+            shard_index=self.shard_index)
+        statuses: dict[int, ChunkStatus] = {}
+        todo: list[int] = []
+        for index, (start, stop) in enumerate(ranges):
+            hit = None
+            if self.cache is not None and resume:
+                hit = self.cache.load(self.chunk_key(start, stop))
+            if hit is not None:
+                result.payloads[index] = hit
+                statuses[index] = ChunkStatus(index, start, stop,
+                                              "cached")
+            elif self._owns(index):
+                todo.append(index)
+            else:
+                statuses[index] = ChunkStatus(index, start, stop,
+                                              "pending")
+
+        for index, payload, error in self._execute(ranges, todo):
+            start, stop = ranges[index]
+            if error is not None:
+                statuses[index] = ChunkStatus(index, start, stop,
+                                              "failed", error=error)
+                continue
+            if self.cache is not None:
+                self.cache.store(self.chunk_key(start, stop), payload)
+            result.payloads[index] = payload
+            statuses[index] = ChunkStatus(
+                index, start, stop, "computed",
+                duration_s=float(payload.get("duration_s", 0.0)))
+
+        result.chunks = [statuses[i] for i in sorted(statuses)]
+        result.wall_s = time.perf_counter() - t0
+        return result
+
+    def _execute(self, ranges, todo: list[int]):
+        """Yield ``(index, payload, error)`` per owned chunk, in
+        completion order under a pool, so the caller checkpoints each
+        chunk the moment it exists and an interrupt (or a chunk
+        failure) never loses finished chunks."""
+        scenario_config = self.scenario.to_config()
+
+        def args_for(index: int):
+            start, stop = ranges[index]
+            return (scenario_config, self.backend,
+                    dict(self.backend_params), start, stop,
+                    self.base_seed)
+
+        if self.workers == 1 or len(todo) <= 1:
+            for index in todo:
+                try:
+                    payload = execute_chunk(*args_for(index))
+                except Exception as exc:
+                    yield index, None, f"{type(exc).__name__}: {exc}"
+                    continue
+                yield index, payload, None
+            return
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(execute_chunk, *args_for(i)): i
+                       for i in todo}
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    yield index, None, f"{type(exc).__name__}: {exc}"
+                    continue
+                yield index, payload, None

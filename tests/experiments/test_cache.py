@@ -1,6 +1,8 @@
-"""ResultCache: size cap and LRU eviction."""
+"""ResultCache: size cap, LRU eviction, version guard, clear races."""
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -73,3 +75,57 @@ class TestMaxEntries:
             cache.store(task, {"value": i})
         assert len(cache) == 1
         assert cache.load(all_tasks[-1]) == {"value": 2}
+
+
+class TestVersionGuard:
+    """Regression: ``load`` trusted the truncated path hash to keep
+    spec versions apart and never checked the stored ``version``
+    field the docstring promised."""
+
+    def test_tampered_version_field_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = tasks(1)[0]
+        path = cache.store(task, {"value": 9})
+        entry = json.loads(path.read_text())
+        assert entry["version"] == task.version
+        entry["version"] = task.version + 1  # hash-collision stand-in
+        path.write_text(json.dumps(entry))
+        assert cache.load(task) is None
+
+    def test_missing_version_field_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = tasks(1)[0]
+        path = cache.store(task, {"value": 9})
+        entry = json.loads(path.read_text())
+        del entry["version"]
+        path.write_text(json.dumps(entry))
+        assert cache.load(task) is None
+
+    def test_matching_version_still_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = tasks(1)[0]
+        cache.store(task, {"value": 9})
+        assert cache.load(task) == {"value": 9}
+
+
+class TestClearRace:
+    def test_clear_tolerates_concurrently_removed_files(
+            self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        for i, task in enumerate(tasks(3)):
+            cache.store(task, {"value": i})
+        real_unlink = Path.unlink
+        lost = []
+
+        def racing_unlink(self, missing_ok=False):
+            # Another process (an eviction, a concurrent clear) beat
+            # us to the first entry.
+            if not lost:
+                lost.append(self)
+                real_unlink(self)
+                raise FileNotFoundError(str(self))
+            return real_unlink(self, missing_ok=missing_ok)
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        assert cache.clear() == 2  # the two we actually removed
+        assert len(cache) == 0

@@ -1,6 +1,8 @@
-"""SweepRunner + ResultCache: hits, misses, determinism, round-trips."""
+"""SweepRunner + ResultCache: hits, misses, determinism, round-trips,
+and crash resilience (a dying task must never cost its neighbors)."""
 
 import json
+import os
 
 import pytest
 
@@ -37,6 +39,26 @@ def make_spec(**overrides):
                   grid={"planes": (1, 2)}, fixed={"n_nodes": 8})
     kwargs.update(overrides)
     return ExperimentSpec(**kwargs)
+
+
+def flaky_factory(config, seed):
+    """Raises (or kills its whole worker) on one designated task."""
+    x = config["x"]
+    if config.get("raise_on") == x:
+        raise ValueError(f"task {x} raised")
+    if config.get("kill_on") == x:
+        os._exit(7)
+    return {"value": x}
+
+
+def identity_metrics(result):
+    return result
+
+
+def flaky_spec(n=4, **fixed):
+    return ExperimentSpec(name="flaky", factory=flaky_factory,
+                          metrics=identity_metrics,
+                          grid={"x": tuple(range(n))}, fixed=fixed)
 
 
 class TestDeterminism:
@@ -140,6 +162,111 @@ class TestSerializerRoundTrip:
         fresh = runner.run(make_spec()).rows()
         cached = runner.run(make_spec()).rows()
         assert cached == fresh
+
+
+class TestCrashResilience:
+    """Regression: a sweep used to buffer ``pool.map`` in one
+    ``list(...)``, so a single dying task aborted the run and threw
+    away every completed, never-cached result."""
+
+    def test_raising_task_does_not_abort_or_lose_results(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        result = runner.run(flaky_spec(raise_on=1))
+        assert result.n_failed == 1
+        assert [r.config["x"] for r in result.failures()] == [1]
+        assert "task 1 raised" in result.failures()[0].error
+        # Every other task completed and was cached as it finished.
+        assert [row["value"] for row in result.rows()] == [0, 2, 3]
+        assert len(cache) == 3
+
+    def test_killed_worker_keeps_completed_results_cached(self, tmp_path):
+        # The designated task takes its whole worker process down
+        # (os._exit — no exception to catch). With one worker running
+        # tasks in order, everything before the kill must already be
+        # in the cache; only the killed task fails.
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache,
+                             executor="process")
+        result = runner.run(flaky_spec(kill_on=3))
+        assert result.n_failed == 1
+        assert "BrokenProcessPool" in result.failures()[0].error
+        assert [row["value"] for row in result.rows()] == [0, 1, 2]
+        assert len(cache) == 3
+        # The survivors are individually replayable from the cache.
+        for task in flaky_spec(kill_on=3).tasks():
+            hit = cache.load(task)
+            if task.config["x"] == 3:
+                assert hit is None
+            else:
+                assert hit == {"value": task.config["x"]}
+
+    def test_failed_tasks_never_poison_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = flaky_spec(raise_on=2)
+        SweepRunner(workers=1, cache=cache).run(spec)
+        failed_task = next(t for t in spec.tasks()
+                           if t.config["x"] == 2)
+        assert cache.load(failed_task) is None
+        # A rerun replays the survivors from cache and retries (and
+        # re-fails) only the broken task.
+        rerun = SweepRunner(workers=1, cache=cache).run(spec)
+        assert rerun.n_cached == 3 and rerun.n_failed == 1
+
+    def test_raise_on_failure_escalates(self):
+        result = SweepRunner(workers=1).run(flaky_spec(raise_on=0))
+        with pytest.raises(RuntimeError, match="1 task"):
+            result.raise_on_failure()
+        clean = SweepRunner(workers=1).run(flaky_spec())
+        assert clean.raise_on_failure() is clean
+
+    def test_summary_reports_failures(self):
+        result = SweepRunner(workers=1).run(flaky_spec(raise_on=0))
+        assert "1 FAILED" in result.summary()
+
+
+class TestShardedSweep:
+    def test_two_shards_cover_the_grid_via_shared_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(2):
+            SweepRunner(workers=1, cache=cache, executor="shard",
+                        shard_index=index, shard_count=2).run(
+                flaky_spec(n=6))
+        replay = SweepRunner(workers=1, cache=cache).run(flaky_spec(n=6))
+        assert replay.n_cached == 6
+        assert [row["value"] for row in replay.rows()] == list(range(6))
+
+    def test_sharded_rows_match_plain_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plain = SweepRunner(workers=1).run(make_spec()).rows()
+        for index in range(2):
+            SweepRunner(workers=1, cache=cache, executor="shard",
+                        shard_index=index, shard_count=2).run(make_spec())
+        sharded = SweepRunner(workers=1, cache=cache).run(make_spec())
+        assert sharded.rows() == plain
+
+    def test_force_recomputes_stolen_foreign_tasks(self, tmp_path):
+        # Regression: the steal loop used to read the cache even
+        # under force, mixing refreshed owned rows with stale
+        # foreign ones.
+        cache = ResultCache(tmp_path)
+        SweepRunner(workers=1, cache=cache).run(flaky_spec(n=4))
+        forced = SweepRunner(workers=1, cache=cache, executor="shard",
+                             shard_index=0, shard_count=2).run(
+            flaky_spec(n=4), force=True)
+        assert forced.n_cached == 0
+        assert forced.n_executed == 4
+
+    def test_unyielded_foreign_tasks_reported_as_skipped(self):
+        # Regression: a cache-less shard dropped foreign tasks and
+        # summarized a shrunken grid as a complete sweep.
+        result = SweepRunner(workers=1, executor="shard",
+                             shard_index=0, shard_count=2).run(
+            flaky_spec(n=4))
+        assert result.n_skipped > 0
+        assert len(result.results) + result.n_skipped == 4
+        assert not result.complete
+        assert "left to other shards" in result.summary()
 
 
 class TestRunnerValidation:

@@ -66,7 +66,11 @@ class TestScenarioTask:
 class TestDiurnalRegression:
     """Acceptance pin: the diurnal Cori replay with a noon plane
     failure must reproduce these aggregates bit-identically, including
-    through the result cache."""
+    through the result cache.
+
+    Values pinned under counter-based per-epoch seeding (spec
+    version 2); the pre-sharding sequential-generator pins died with
+    version 1."""
 
     def test_pinned_aggregates_and_cache_replay(self, tmp_path):
         spec = get_experiment("scenario_diurnal_cori")
@@ -84,12 +88,12 @@ class TestDiurnalRegression:
             wss["offered_gbps"], rel=1e-12)
         # Pinned accepted bandwidth and indirect-route fraction.
         assert awgr["carried_gbps"] == pytest.approx(
-            8584.230891932122, rel=1e-9)
+            9617.543072965238, rel=1e-9)
         assert awgr["indirect_fraction"] == pytest.approx(
-            0.0811965811965812, rel=1e-9)
+            0.10371819960861056, rel=1e-9)
         assert awgr["slowdown_p99"] == pytest.approx(3.0)
         assert wss["carried_gbps"] == pytest.approx(
-            5620.201915829639, rel=1e-9)
+            6358.4768000328695, rel=1e-9)
         assert wss["indirect_fraction"] == 0.0
         # The failure is scripted into both runs.
         assert awgr["events_applied"] == 2

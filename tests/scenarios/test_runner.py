@@ -90,6 +90,58 @@ class TestAggregates:
                                 make_backend("awgr", 8)).run(seed=0)
         assert report.slowdown_quantiles() == {0.5: 1.0, 0.99: 1.0}
 
+    def test_zero_offered_run_is_not_a_perfect_fabric(self):
+        # Regression: an idle scenario used to report
+        # throughput_ratio == 1.0, which read as "perfect fabric" in
+        # aggregated CI tables.
+        scenario = Scenario(
+            name="idle", n_nodes=8, n_epochs=2,
+            episodes=(Episode(kind="uniform", flows=0),))
+        report = ScenarioRunner(scenario,
+                                make_backend("awgr", 8)).run(seed=0)
+        assert report.offered_gbps == 0.0
+        assert report.throughput_ratio == 0.0
+        assert report.as_dict()["throughput_ratio"] == 0.0
+
+
+class TestSeedingModes:
+    def test_per_epoch_is_the_default_and_matches_batch_at(self):
+        scenario = scripted_scenario(
+            flows={"dist": "poisson", "mean": 6})
+        runner = ScenarioRunner(scenario, make_backend("awgr", 8))
+        assert runner.seeding == "per-epoch"
+        report = runner.run(seed=3)
+        offered = [e.offered for e in report.epochs]
+        assert offered == [len(scenario.batch_at(i, base_seed=3))
+                           for i in range(scenario.n_epochs)]
+
+    def test_sequential_mode_replays_threaded_generator(self):
+        from repro.network.traffic import as_generator
+        scenario = scripted_scenario(
+            flows={"dist": "poisson", "mean": 6})
+        report = ScenarioRunner(scenario, make_backend("awgr", 8),
+                                seeding="sequential").run(seed=3)
+        rng = as_generator(3)
+        expected = [len(scenario.batch(i, rng))
+                    for i in range(scenario.n_epochs)]
+        assert [e.offered for e in report.epochs] == expected
+
+    def test_modes_differ_for_stochastic_scenarios(self):
+        scenario = scripted_scenario(
+            flows={"dist": "poisson", "mean": 6})
+        per_epoch = ScenarioRunner(scenario,
+                                   make_backend("awgr", 8)).run(seed=3)
+        sequential = ScenarioRunner(scenario, make_backend("awgr", 8),
+                                    seeding="sequential").run(seed=3)
+        assert per_epoch.rows() != sequential.rows()
+
+    def test_unknown_mode_rejected(self):
+        runner = ScenarioRunner(scripted_scenario(),
+                                make_backend("awgr", 8),
+                                seeding="bogus")
+        with pytest.raises(ValueError, match="seeding"):
+            runner.run(seed=0)
+
 
 class TestRunReplicated:
     def test_ci_over_seeds(self):

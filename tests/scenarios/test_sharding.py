@@ -1,0 +1,251 @@
+"""Sharded scenario execution: per-epoch seed invariance, chunked
+equivalence, checkpointing, interrupt + resume."""
+
+import pytest
+
+from repro.experiments import ResultCache
+from repro.experiments.cache import decode_metrics, encode_metrics
+from repro.scenarios import (
+    SCENARIOS,
+    Episode,
+    EpochReport,
+    Scenario,
+    ScenarioEvent,
+    ScenarioRunner,
+    ShardedScenarioRunner,
+    chunk_backend_seed,
+    chunk_ranges,
+    derive_epoch_seed,
+    make_backend,
+)
+
+
+def small_scenario(n_epochs=6):
+    return Scenario(
+        name="shardable", n_nodes=8, n_epochs=n_epochs,
+        episodes=(
+            Episode(kind="uniform",
+                    flows={"dist": "poisson", "mean": 6}),
+            Episode(kind="hotspot", start=2,
+                    flows={"dist": "pareto", "minimum": 3,
+                           "alpha": 1.5},
+                    params={"hotspot": 1}),
+        ),
+        events=(
+            ScenarioEvent(epoch=1, action="fail_plane", value=0),
+            ScenarioEvent(epoch=4, action="repair_plane", value=0),
+        ))
+
+
+class TestDeriveEpochSeed:
+    def test_deterministic(self):
+        assert (derive_epoch_seed("s", 3, 7)
+                == derive_epoch_seed("s", 3, 7))
+
+    def test_distinct_across_epochs_names_seeds_streams(self):
+        seeds = {derive_epoch_seed("s", e, 0) for e in range(64)}
+        assert len(seeds) == 64
+        assert (derive_epoch_seed("s", 0, 0)
+                != derive_epoch_seed("t", 0, 0))
+        assert (derive_epoch_seed("s", 0, 0)
+                != derive_epoch_seed("s", 0, 1))
+        assert (derive_epoch_seed("s", 0, 0)
+                != derive_epoch_seed("s", 0, 0, stream="backend"))
+
+    def test_accepts_scenario_or_name(self):
+        scenario = small_scenario()
+        assert (derive_epoch_seed(scenario, 2, 5)
+                == derive_epoch_seed("shardable", 2, 5))
+
+    def test_chunk0_backend_seed_is_the_base_seed(self):
+        # Keeps a single-chunk replay bit-identical to the plain
+        # `repro scenario --seed N` run, which builds its backend
+        # with seed=N.
+        assert chunk_backend_seed("s", 0, 11) == 11
+        assert chunk_backend_seed("s", 720, 11) != 11
+        assert (chunk_backend_seed("s", 720, 11)
+                == chunk_backend_seed("s", 720, 11))
+
+
+class TestShardInvariance:
+    """Satellite acceptance: epoch batches for ``[k, n)`` must be
+    bit-identical whether or not epochs ``[0, k)`` were generated
+    first, across all registered scenarios."""
+
+    def test_registered_scenarios_generate_suffixes_independently(self):
+        for scenario in SCENARIOS.values():
+            n = min(scenario.n_epochs, 8)
+            k = n // 2
+            full = scenario.batches_range(0, n, base_seed=3)
+            suffix = scenario.batches_range(k, n, base_seed=3)
+            assert suffix == full[k:], scenario.name
+
+    def test_single_epoch_matches_any_order(self):
+        scenario = small_scenario()
+        later = scenario.batch_at(4, base_seed=9)
+        scenario.batch_at(0, base_seed=9)  # draws change nothing
+        scenario.batch_at(2, base_seed=9)
+        assert scenario.batch_at(4, base_seed=9) == later
+
+    def test_sequential_mode_is_order_dependent(self):
+        # The compatibility mode deliberately keeps the historical
+        # behavior: one generator threads through the epochs, so
+        # suffixes are NOT independent of the prefix.
+        scenario = small_scenario()
+        full = scenario.batches(3)
+        from repro.network.traffic import as_generator
+        alone = scenario.batch(4, as_generator(3))
+        assert alone != full[4]
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            small_scenario(4).batches_range(2, 6)
+
+
+class TestChunkRanges:
+    def test_even_and_ragged_splits(self):
+        assert chunk_ranges(6, 2) == [(0, 2), (2, 4), (4, 6)]
+        assert chunk_ranges(7, 3) == [(0, 3), (3, 6), (6, 7)]
+        assert chunk_ranges(3, 10) == [(0, 3)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(0, 2)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+
+class TestEpochReportRoundTrip:
+    def test_to_from_dict_through_cache_json(self):
+        report = EpochReport(epoch=3, offered=5, carried=4, blocked=1,
+                             indirect=2, offered_gbps=125.0,
+                             carried_gbps=100.0,
+                             slowdowns=[1.0, 2.0, 2.0, 3.0],
+                             extras={"healthy_planes": 4})
+        decoded = EpochReport.from_dict(
+            decode_metrics(encode_metrics(report.to_dict())))
+        assert decoded == report
+
+
+class TestChunkedEquivalence:
+    def test_single_chunk_matches_monolithic_per_epoch_run(self):
+        # Exactly the `repro scenario X --seed 5` backend: chunk 0
+        # uses base_seed directly, so --shards over one chunk must
+        # reproduce the plain run bit for bit.
+        scenario = small_scenario()
+        backend = make_backend("awgr", scenario.n_nodes, seed=5)
+        mono = ScenarioRunner(scenario, backend).run(seed=5)
+        sharded = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=scenario.n_epochs,
+            base_seed=5).run()
+        merged = sharded.report()
+        assert merged.as_dict() == mono.as_dict()
+        assert merged.rows() == mono.rows()
+
+    def test_shard_count_never_changes_aggregates(self, tmp_path):
+        scenario = small_scenario()
+        single = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=2, base_seed=1).run()
+        cache = ResultCache(tmp_path)
+        for index in range(3):  # three "machines", one shared cache
+            ShardedScenarioRunner(
+                scenario, "awgr", chunk_epochs=2, shards=3,
+                shard_index=index, base_seed=1, cache=cache).run()
+        assembled = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=2, shards=3, base_seed=1,
+            cache=cache).run(resume=True)
+        assert assembled.n_cached == len(assembled.chunks)
+        assert (assembled.report().as_dict()
+                == single.report().as_dict())
+        assert assembled.report().rows() == single.report().rows()
+
+    def test_pool_workers_match_inline(self):
+        scenario = small_scenario()
+        inline = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=2, base_seed=1).run()
+        pooled = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=2, base_seed=1,
+            workers=2).run()
+        assert pooled.report().as_dict() == inline.report().as_dict()
+
+    def test_event_totals_match_monolithic(self):
+        # fail at 1 / repair at 4 land in different chunks; the
+        # repair chunk replays the failure for state but must not
+        # recount it.
+        scenario = small_scenario()
+        sharded = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=2, base_seed=0).run()
+        merged = sharded.report()
+        assert merged.events_applied == 2
+        assert merged.events_ignored == 0
+        healthy = [e.extras["healthy_planes"] for e in merged.epochs]
+        assert healthy == [5, 4, 4, 4, 5, 5]
+
+
+class TestInterruptResume:
+    def test_partial_shard_then_resume_recomputes_only_the_rest(
+            self, tmp_path):
+        scenario = small_scenario()
+        cache = ResultCache(tmp_path)
+        kwargs = dict(chunk_epochs=2, shards=2, base_seed=4,
+                      cache=cache)
+        # "Interrupt": only shard 0 ever ran before the crash.
+        first = ShardedScenarioRunner(
+            scenario, "awgr", shard_index=0, **kwargs).run()
+        assert first.n_computed == 2 and first.n_pending == 1
+        assert not first.complete
+        with pytest.raises(RuntimeError, match="incomplete"):
+            first.report()
+        # Resume from the checkpoints: shard 0's chunks load, only
+        # the missing chunk is computed.
+        resumed = ShardedScenarioRunner(
+            scenario, "awgr", **kwargs).run(resume=True)
+        assert resumed.n_cached == 2 and resumed.n_computed == 1
+        fresh = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=2, base_seed=4).run()
+        assert resumed.report().as_dict() == fresh.report().as_dict()
+
+    def test_resume_false_recomputes_and_refreshes(self, tmp_path):
+        scenario = small_scenario()
+        cache = ResultCache(tmp_path)
+        runner = ShardedScenarioRunner(scenario, "awgr",
+                                       chunk_epochs=3, base_seed=0,
+                                       cache=cache)
+        runner.run()
+        refreshed = runner.run(resume=False)
+        assert refreshed.n_computed == len(refreshed.chunks)
+        assert refreshed.n_cached == 0
+
+    def test_chunk_size_is_part_of_the_checkpoint_identity(
+            self, tmp_path):
+        scenario = small_scenario()
+        cache = ResultCache(tmp_path)
+        ShardedScenarioRunner(scenario, "awgr", chunk_epochs=2,
+                              base_seed=0, cache=cache).run()
+        other = ShardedScenarioRunner(scenario, "awgr", chunk_epochs=3,
+                                      base_seed=0, cache=cache
+                                      ).run(resume=True)
+        assert other.n_cached == 0  # no cross-granularity reuse
+
+    def test_failed_chunk_recorded_not_raised(self, tmp_path):
+        scenario = small_scenario()
+        # Failing the last WSS switch raises inside the backend; the
+        # runner must record the chunk failure and keep going.
+        result = ShardedScenarioRunner(
+            scenario, "wss", backend_params={"n_switches": 1},
+            chunk_epochs=2, base_seed=0).run()
+        assert result.n_failed >= 1
+        assert not result.complete
+        failed = [c for c in result.chunks if c.state == "failed"]
+        assert "RuntimeError" in failed[0].error
+
+
+class TestValidation:
+    def test_shard_index_range(self):
+        with pytest.raises(ValueError):
+            ShardedScenarioRunner(small_scenario(), shards=2,
+                                  shard_index=2)
+
+    def test_workers_positive(self):
+        with pytest.raises(ValueError):
+            ShardedScenarioRunner(small_scenario(), workers=0)
