@@ -1,0 +1,246 @@
+"""Chunk-boundary fidelity and cost — carry vs reset replays.
+
+Quantifies what PR 5's carried-state boundaries buy over the original
+fresh-backend-plus-event-replay chunking:
+
+* **fidelity** — a chunked replay's aggregates versus the monolithic
+  :class:`~repro.scenarios.runner.ScenarioRunner` ground truth. Reset
+  mode drops the previous chunk's in-flight flows at every boundary,
+  so its occupancy-sensitive aggregates drift from the monolithic
+  run; carry mode restores the previous chunk's backend snapshot and
+  must match *bit for bit*.
+* **boundary cost** — what standing up one chunk's starting state
+  costs: reset mode replays every event scripted before the chunk
+  (O(events x chunk index), growing along the horizon), carry mode
+  restores a serialized snapshot (O(state), flat). Measured at the
+  last chunk boundary of an event-dense scenario, minimum over
+  repeats.
+
+As a script this writes ``BENCH_chunk_boundary.json`` (CI regenerates
+it in ``--quick`` mode and fails if carry mode ever drifts from the
+monolithic run, or if the scenario stops exercising boundary-crossing
+flows — i.e. if reset mode stops showing a fidelity delta):
+
+    PYTHONPATH=src python benchmarks/bench_chunk_boundary.py
+    PYTHONPATH=src python benchmarks/bench_chunk_boundary.py \
+        --quick --out BENCH_chunk_boundary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASE_SEED = 13
+
+
+def boundary_scenario(n_epochs: int, n_nodes: int = 12):
+    """Capacity-bound load plus an event-dense failure script.
+
+    The hotspot's 125 Gbps flows need 5 sub-slots each — one whole
+    plane of the pair's direct budget — and the AWGR backend's default
+    ``duration_slots=2`` keeps them resident across epochs, so whether
+    a boundary dropped the previous chunk's in-flight flows visibly
+    changes admission (blocking and indirection) in the next chunk.
+    Plane 0 flaps (fail, repair two epochs later, every four epochs)
+    to give reset mode a pre-chunk event tape that grows along the
+    horizon.
+    """
+    from repro.scenarios import Episode, Scenario, ScenarioEvent
+
+    events = []
+    for epoch in range(0, n_epochs, 4):
+        events.append(ScenarioEvent(epoch=epoch, action="fail_plane",
+                                    value=0))
+        if epoch + 2 < n_epochs:
+            events.append(ScenarioEvent(epoch=epoch + 2,
+                                        action="repair_plane", value=0))
+    return Scenario(
+        name="chunk_boundary_bench",
+        n_nodes=n_nodes,
+        n_epochs=n_epochs,
+        description="uniform chatter + a saturating hotspot + a "
+                    "flapping plane (chunk-boundary fidelity probe)",
+        episodes=(
+            Episode(kind="uniform",
+                    flows={"dist": "poisson", "mean": 16},
+                    gbps=25.0),
+            Episode(kind="hotspot", flows=8, gbps=125.0,
+                    params={"hotspot": 0}),
+        ),
+        events=tuple(events))
+
+
+def _deltas(chunked: dict, mono: dict) -> dict:
+    """Absolute aggregate drift of a chunked replay vs the monolith.
+
+    ``indirect_fraction`` is the most sensitive probe: dropping the
+    previous chunk's in-flight flows frees occupancy, so a reset
+    boundary under-reports indirection (and therefore slowdown) even
+    when total carried bandwidth happens to coincide.
+    """
+    return {
+        "carried_gbps": abs(chunked["carried_gbps"]
+                            - mono["carried_gbps"]),
+        "throughput_ratio": abs(chunked["throughput_ratio"]
+                                - mono["throughput_ratio"]),
+        "indirect_fraction": abs(chunked["indirect_fraction"]
+                                 - mono["indirect_fraction"]),
+        "slowdown_p99": abs(chunked["slowdown_p99"]
+                            - mono["slowdown_p99"]),
+    }
+
+
+def _boundary_cost_s(scenario, start: int, snapshot: dict,
+                     repeats: int = 5) -> tuple[float, float]:
+    """(replay_s, restore_s): standing up chunk ``start``'s state.
+
+    Replay is what a reset-mode chunk does before its first epoch
+    (fresh backend + re-apply every earlier event); restore is the
+    carry-mode equivalent (fresh backend + ``restore(snapshot)``).
+    Minimum over ``repeats`` to shed timer noise.
+    """
+    from repro.scenarios import chunk_backend_seed, make_backend
+
+    def fresh():
+        return make_backend(
+            "awgr", scenario.n_nodes,
+            seed=chunk_backend_seed(scenario, start, BASE_SEED))
+
+    replay_s = restore_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fabric = fresh()
+        for epoch in range(start):
+            for event in scenario.events_at(epoch):
+                fabric.apply_event(event)
+        replay_s = min(replay_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fabric = fresh()
+        fabric.restore(snapshot)
+        restore_s = min(restore_s, time.perf_counter() - t0)
+    return replay_s, restore_s
+
+
+def run_suite(quick: bool = False) -> dict:
+    """Monolithic vs reset-chunked vs carry-chunked replay."""
+    from repro.scenarios import (
+        ScenarioRunner,
+        ShardedScenarioRunner,
+        make_backend,
+    )
+
+    if quick:
+        scenario = boundary_scenario(n_epochs=48)
+        chunk_epochs = 8
+    else:
+        scenario = boundary_scenario(n_epochs=960)
+        chunk_epochs = 48
+
+    t0 = time.perf_counter()
+    mono = ScenarioRunner(
+        scenario,
+        make_backend("awgr", scenario.n_nodes, seed=BASE_SEED),
+    ).run(seed=BASE_SEED)
+    mono_wall = time.perf_counter() - t0
+    mono_dict = mono.as_dict()
+
+    def chunked(boundary: str):
+        return ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=chunk_epochs,
+            boundary=boundary, base_seed=BASE_SEED).run()
+
+    reset = chunked("reset")
+    carry = chunked("carry")
+    reset_report = reset.report()
+    carry_report = carry.report()
+
+    carry_identical = (carry_report.as_dict() == mono_dict
+                       and carry_report.rows() == mono.rows())
+    reset_differs = reset_report.as_dict() != mono_dict
+    last_start = reset.chunks[-1].start
+    replay_s, restore_s = _boundary_cost_s(
+        scenario, last_start,
+        carry.payloads[len(carry.chunks) - 2]["snapshot"])
+
+    return {
+        "scenario": scenario.name,
+        "n_epochs": scenario.n_epochs,
+        "chunk_epochs": chunk_epochs,
+        "n_chunks": len(reset.chunks),
+        "n_events": len(scenario.events),
+        "mono_wall_s": mono_wall,
+        "reset_wall_s": reset.wall_s,
+        "carry_wall_s": carry.wall_s,
+        "reset_delta": _deltas(reset_report.as_dict(), mono_dict),
+        "carry_delta": _deltas(carry_report.as_dict(), mono_dict),
+        "carry_bit_identical": carry_identical,
+        "reset_differs_from_monolithic": reset_differs,
+        "last_boundary_replay_s": replay_s,
+        "last_boundary_restore_s": restore_s,
+        "restore_speedup": replay_s / max(restore_s, 1e-9),
+        "mono_carried_gbps": mono_dict["carried_gbps"],
+        "reset_carried_gbps": reset_report.as_dict()["carried_gbps"],
+        "mono_indirect_fraction": mono_dict["indirect_fraction"],
+        "reset_indirect_fraction":
+            reset_report.as_dict()["indirect_fraction"],
+    }
+
+
+def check(record: dict) -> list[str]:
+    """Gate conditions; returns failure messages (empty = pass)."""
+    failures = []
+    if not record["carry_bit_identical"]:
+        failures.append(
+            "carry-mode replay drifted from the monolithic run "
+            f"(delta {record['carry_delta']})")
+    if not record["reset_differs_from_monolithic"]:
+        failures.append(
+            "reset mode showed no fidelity delta — the scenario no "
+            "longer exercises boundary-crossing in-flight flows, so "
+            "the benchmark proves nothing")
+    return failures
+
+
+def test_chunk_boundary_fidelity():
+    """Quick-mode run: carry bit-identical, reset visibly lossy.
+
+    Timed manually (wall clock per phase) rather than through the
+    pytest-benchmark fixture because the three-way mono/reset/carry
+    comparison *is* the benchmark.
+    """
+    from conftest import emit
+
+    from repro.analysis.report import render_kv
+
+    record = run_suite(quick=True)
+    emit("Chunk boundaries — carry vs reset fidelity and cost",
+         render_kv({k: v for k, v in record.items()
+                    if not isinstance(v, dict)}))
+    assert not check(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized horizon (48 epochs)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here")
+    args = parser.parse_args(argv)
+    record = run_suite(quick=args.quick)
+    print(json.dumps(record, indent=1))
+    failures = check(record)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.out:
+        Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

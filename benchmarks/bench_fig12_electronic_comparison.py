@@ -2,33 +2,41 @@
 
 Paper: in-order average 9% (max 41%), OOO 15% (max 45%), GPUs ~61%
 (throttled bandwidth plus latency). PARSEC counted at medium only.
+
+Runs on the sweep engine:
+``repro.experiments.library.FIG12_ELECTRONIC_COMPARISON`` replaces the
+old hand-rolled ``electronic_vs_photonic`` call (one task covering all
+three core types, since they share the underlying CPU study).
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.core.comparison import electronic_vs_photonic
+from repro.experiments import SweepRunner, get_experiment
+
+
+def _sweep():
+    return SweepRunner(workers=1).run(
+        get_experiment("fig12_electronic_comparison")
+    ).raise_on_failure().rows()
 
 
 def test_fig12_electronic_comparison(benchmark):
-    entries, summaries = benchmark(electronic_vs_photonic)
+    row = benchmark(_sweep)[0]
     table = [{
-        "core": s.core, "mean_speedup": s.mean_speedup,
-        "max_speedup": s.max_speedup, "n": s.n,
-    } for s in summaries]
+        "core": core,
+        "mean_speedup": row[f"{core}_mean_speedup"],
+        "max_speedup": row[f"{core}_max_speedup"],
+        "n": row[f"{core}_n"],
+    } for core in ("inorder", "ooo", "gpu")]
     emit("Fig. 12 — photonic over electronic",
          render_table(table)
          + "\npaper: inorder 9%/41%, OOO 15%/45%, GPU ~61%")
 
-    top = sorted(entries, key=lambda e: -e.speedup)[:10]
-    emit("Fig. 12 — top-10 benchmark speedups", render_table([{
-        "benchmark": e.name, "core": e.core, "speedup": e.speedup,
-        "photonic_slowdown": e.photonic_slowdown,
-        "electronic_slowdown": e.electronic_slowdown,
-    } for e in top]))
+    emit("Fig. 12 — top-10 benchmark speedups",
+         render_table(row["top_speedups"]))
 
-    by_core = {s.core: s for s in summaries}
-    assert 0.05 < by_core["inorder"].mean_speedup < 0.15
-    assert 0.08 < by_core["ooo"].mean_speedup < 0.20
-    assert 0.40 < by_core["gpu"].mean_speedup < 0.80
-    assert all(e.speedup >= 0 for e in entries)
+    assert 0.05 < row["inorder_mean_speedup"] < 0.15
+    assert 0.08 < row["ooo_mean_speedup"] < 0.20
+    assert 0.40 < row["gpu_mean_speedup"] < 0.80
+    assert row["min_speedup"] >= 0

@@ -288,13 +288,15 @@ def _cmd_scenario(args: argparse.Namespace) -> None:
         from repro.experiments import ResultCache
         runner = ShardedScenarioRunner(
             scenario, backend=args.backend,
-            chunk_epochs=args.chunk_epochs, shards=args.shards,
+            chunk_epochs=args.chunk_epochs, boundary=args.boundary,
+            shards=args.shards,
             shard_index=args.shard_index, base_seed=args.seed,
             cache=ResultCache(args.cache_dir), workers=args.workers)
         result = runner.run(resume=args.resume)
         print(render_table(
             result.rows(),
-            title=f"{title} — {args.shards}-shard chunk replay"))
+            title=f"{title} — {args.shards}-shard chunk replay "
+                  f"({args.boundary} boundaries)"))
         print()
         print(result.summary())
         if result.complete:
@@ -449,6 +451,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="epochs per checkpointed chunk "
                                 "(default: 1440, one day of 1-minute "
                                 "epochs)")
+            p.add_argument("--boundary", default="reset",
+                           choices=("reset", "carry"),
+                           help="chunk-boundary mode: reset (default; "
+                                "fresh backend per chunk, any shard "
+                                "computes any chunk) or carry "
+                                "(restore the previous chunk's "
+                                "backend snapshot — bit-identical to "
+                                "a monolithic run, chunks pipeline "
+                                "in order)")
             p.add_argument("--workers", type=int, default=1,
                            help="process-pool width for this "
                                 "process's chunks (default: 1)")

@@ -338,6 +338,47 @@ CASE_A_VS_CASE_B = ExperimentSpec(
     fixed={"n_nodes": 16, "n_slots": 10, "traffic_seed": 21})
 
 
+# -- Fig. 12 photonic vs electronic (§VI-D) ----------------------------------
+
+def fig12_comparison_task(config: dict, seed: int) -> dict:
+    """Run the full Fig. 12 comparison for one parameter point.
+
+    One task covers all three core types: the underlying CPU study is
+    shared between the photonic and electronic runs, so splitting the
+    cores into grid points would recompute it. Per-core summaries are
+    flattened to ``"<core>_<stat>"`` keys; the ten largest
+    per-benchmark speedups ride along for report tables.
+    """
+    from repro.core.comparison import electronic_vs_photonic
+
+    entries, summaries = electronic_vs_photonic(
+        photonic_ns=config["photonic_ns"],
+        gpu_bandwidth_derate=config["gpu_bandwidth_derate"])
+    out: dict = {
+        "min_speedup": min(e.speedup for e in entries),
+    }
+    for summary in summaries:
+        out[f"{summary.core}_mean_speedup"] = summary.mean_speedup
+        out[f"{summary.core}_max_speedup"] = summary.max_speedup
+        out[f"{summary.core}_n"] = summary.n
+    top = sorted(entries, key=lambda e: -e.speedup)[:10]
+    out["top_speedups"] = [{
+        "benchmark": e.name, "core": e.core, "speedup": e.speedup,
+        "photonic_slowdown": e.photonic_slowdown,
+        "electronic_slowdown": e.electronic_slowdown,
+    } for e in top]
+    return out
+
+
+FIG12_ELECTRONIC_COMPARISON = ExperimentSpec(
+    name="fig12_electronic_comparison",
+    description="Fig. 12: photonic (35 ns) vs best-electronic (85 ns) "
+                "speedups per core type",
+    factory=fig12_comparison_task,
+    metrics=identity_metrics,
+    fixed={"photonic_ns": 35.0, "gpu_bandwidth_derate": 0.2})
+
+
 # -- iso-performance (§VI-E) -------------------------------------------------
 
 def isoperf_task(config: dict, seed: int) -> dict:
@@ -389,7 +430,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                  ABLATION_AWGR_PLANES, ABLATION_PLANE_FAILURE,
                  FIG5_CONNECTIVITY, POWER_OVERHEAD,
                  FIG6_CPU_SLOWDOWN, FIG8_LATENCY_SENSITIVITY,
-                 TABLE4_SWITCH_CONFIGS,
+                 TABLE4_SWITCH_CONFIGS, FIG12_ELECTRONIC_COMPARISON,
                  PLACEMENT_BANDWIDTH, CASE_A_VS_CASE_B, ISOPERF)
 }
 

@@ -213,6 +213,43 @@ class ReconfigurableFabric:
         self.time_reconfiguring_s += (self.scheduler_latency_s
                                       + self.reconfig_time_s)
 
+    def snapshot(self) -> dict:
+        """JSON-stable capture of the fabric's mutable state.
+
+        Switch count and reconfiguration/scheduler lag are included
+        because scenario events mutate them mid-run; the per-switch
+        assignments are what the next epoch's served bandwidth depends
+        on, and the counters keep availability accounting continuous
+        across a checkpoint boundary.
+        """
+        return {
+            "n_switches": self.n_switches,
+            "reconfig_time_s": self.reconfig_time_s,
+            "scheduler_latency_s": self.scheduler_latency_s,
+            "assignments": [cfg.assignment.tolist()
+                            for cfg in self.configs],
+            "reconfigurations": self.reconfigurations,
+            "ports_disturbed": self.ports_disturbed,
+            "time_reconfiguring_s": self.time_reconfiguring_s,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (accepts JSON-decoded dicts)."""
+        assignments = state["assignments"]
+        if len(assignments) != int(state["n_switches"]):
+            raise ValueError("snapshot switch count does not match "
+                             "its assignment list")
+        self.n_switches = int(state["n_switches"])
+        self.reconfig_time_s = float(state["reconfig_time_s"])
+        self.scheduler_latency_s = float(state["scheduler_latency_s"])
+        self.configs = [
+            SwitchConfiguration(self.radix, self.wavelengths_per_port,
+                                np.asarray(a, dtype=np.int64))
+            for a in assignments]
+        self.reconfigurations = int(state["reconfigurations"])
+        self.ports_disturbed = int(state["ports_disturbed"])
+        self.time_reconfiguring_s = float(state["time_reconfiguring_s"])
+
     def pair_gbps(self, src: int, dst: int) -> float:
         """Configured bandwidth between two ports across all switches."""
         return sum(cfg.pair_gbps(src, dst, self.gbps_per_wavelength)

@@ -52,6 +52,28 @@ class RouteDecision:
         """Photonic hops taken (0 when blocked)."""
         return max(0, len(self.path) - 1)
 
+    def to_dict(self) -> dict:
+        """JSON-stable form (simulator snapshots of in-flight flows)."""
+        return {
+            "kind": self.kind.value,
+            "path": list(self.path),
+            "reservations": [[a, b, list(planes)]
+                             for (a, b, planes) in self.reservations],
+            "used_stale_fallback": self.used_stale_fallback,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RouteDecision":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded dicts)."""
+        return cls(
+            kind=RouteKind(payload["kind"]),
+            path=tuple(int(n) for n in payload["path"]),
+            reservations=tuple(
+                (int(a), int(b), tuple(int(p) for p in planes))
+                for (a, b, planes) in payload["reservations"]),
+            used_stale_fallback=bool(
+                payload.get("used_stale_fallback", False)))
+
 
 @dataclass
 class IndirectRouter:
@@ -100,6 +122,29 @@ class IndirectRouter:
         """Release every reservation of a carried flow."""
         for (a, b, planes) in decision.reservations:
             self.allocator.release(a, b, list(planes))
+
+    def snapshot(self) -> dict:
+        """JSON-stable capture of the router's mutable state.
+
+        The Valiant intermediate choice consumes the router RNG per
+        indirect flow, so carrying a run across a checkpoint boundary
+        requires the exact generator state — ``bit_generator.state``
+        is a plain dict of ints and survives JSON round trips
+        losslessly (Python ints are arbitrary precision).
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "stats": {kind.value: count
+                      for kind, count in self.stats.items()},
+            "stale_mispredictions": self.stale_mispredictions,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (accepts JSON-decoded dicts)."""
+        self._rng.bit_generator.state = state["rng"]
+        self.stats = {kind: int(state["stats"].get(kind.value, 0))
+                      for kind in RouteKind}
+        self.stale_mispredictions = int(state["stale_mispredictions"])
 
     def candidate_intermediates(self, src: int, dst: int,
                                 slots: int = 1) -> np.ndarray:

@@ -84,14 +84,19 @@ class SimulationReport:
 
     @property
     def acceptance_ratio(self) -> float:
-        """Fraction of offered flows carried."""
-        return self.carried / self.offered if self.offered else 1.0
+        """Fraction of offered flows carried.
+
+        A zero-offered run reports 0.0, not 1.0 — an idle run must
+        never read as "perfect fabric" in benchmark tables (the same
+        bug the scenario-layer ratios had).
+        """
+        return self.carried / self.offered if self.offered else 0.0
 
     @property
     def throughput_ratio(self) -> float:
-        """Fraction of offered bandwidth carried."""
+        """Fraction of offered bandwidth carried (0.0 when idle)."""
         return (self.carried_gbps / self.offered_gbps
-                if self.offered_gbps else 1.0)
+                if self.offered_gbps else 0.0)
 
     @property
     def indirect_fraction(self) -> float:
@@ -180,6 +185,20 @@ class _DirectBatch:
         self.flow = self.flow[keep]
         return int(doomed_flows.size)
 
+    def to_dict(self) -> dict:
+        """JSON-stable form (simulator snapshots)."""
+        return {"src": self.src.tolist(), "dst": self.dst.tolist(),
+                "plane": self.plane.tolist(),
+                "flow": self.flow.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_DirectBatch":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded dicts)."""
+        return cls(src=np.asarray(payload["src"], dtype=np.int64),
+                   dst=np.asarray(payload["dst"], dtype=np.int64),
+                   plane=np.asarray(payload["plane"], dtype=np.int64),
+                   flow=np.asarray(payload["flow"], dtype=np.int64))
+
 
 @dataclass
 class _ExpiryBucket:
@@ -194,6 +213,21 @@ class _ExpiryBucket:
             router.release(decision)
         for batch in self.batches:
             batch.release(allocator)
+
+    def to_dict(self) -> dict:
+        """JSON-stable form (simulator snapshots)."""
+        return {"entries": [[flow.to_dict(), decision.to_dict()]
+                            for (flow, decision) in self.entries],
+                "batches": [batch.to_dict() for batch in self.batches]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_ExpiryBucket":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded dicts)."""
+        return cls(
+            entries=[(Flow.from_dict(flow), RouteDecision.from_dict(d))
+                     for (flow, d) in payload["entries"]],
+            batches=[_DirectBatch.from_dict(b)
+                     for b in payload["batches"]])
 
 
 @dataclass
@@ -399,6 +433,63 @@ class AWGRNetworkSimulator:
             flow=(start + adm_order).repeat(p_slots)))
         self.router.stats[RouteKind.DIRECT] += stop - start
         return stop
+
+    # -- snapshot / restore ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-stable capture of every piece of mutable run state.
+
+        Covers the slot clock, wavelength occupancy, failed planes,
+        the piggyback boards (including their jitter phases), the
+        router's RNG/stats, and the expiry buckets holding every
+        in-flight flow — enough that ``restore(snapshot())`` on a
+        freshly constructed (even differently seeded) simulator of the
+        same shape continues *bit-identically* to a run that never
+        stopped. Bucket insertion order is preserved through the JSON
+        round trip so drain/failure scans walk flows in the original
+        order. The dict survives the result cache's JSON encoding
+        losslessly, which is what lets chunked scenario replays carry
+        in-flight flows across checkpoint boundaries.
+        """
+        return {
+            "config": self._snapshot_config(),
+            "now": self._now,
+            "allocator": self.allocator.snapshot(),
+            "state": (None if self.state is None
+                      else self.state.snapshot()),
+            "router": self.router.snapshot(),
+            "buckets": {str(expiry): bucket.to_dict()
+                        for expiry, bucket in self._buckets.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (accepts JSON-decoded dicts).
+
+        The receiving simulator must be configured identically to the
+        one the snapshot was taken from — restoring only replaces
+        mutable state, never structure.
+        """
+        config = state["config"]
+        mine = self._snapshot_config()
+        if config != mine:
+            raise ValueError(
+                f"snapshot config {config} does not match simulator "
+                f"config {mine}")
+        self._now = int(state["now"])
+        self.allocator.restore(state["allocator"])
+        if self.state is not None:
+            self.state.restore(state["state"])
+        self.router.restore(state["router"])
+        self._buckets = {int(expiry): _ExpiryBucket.from_dict(bucket)
+                         for expiry, bucket in state["buckets"].items()}
+
+    def _snapshot_config(self) -> dict:
+        """Structural identity a snapshot must match to be restorable."""
+        return {"n_nodes": self.n_nodes, "planes": self.planes,
+                "flows_per_wavelength": self.flows_per_wavelength,
+                "gbps_per_wavelength": self.gbps_per_wavelength,
+                "state_update_period": self.state_update_period,
+                "track_state": self.track_state}
 
     # -- time ----------------------------------------------------------------------
 

@@ -121,6 +121,35 @@ class PiggybackState:
         for board in self.boards:
             board.refresh_from(src, vector)
 
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-stable capture of every board plus the broadcast clock.
+
+        The per-source jitter phases are included because they are
+        drawn from the constructor's RNG: a restored instance built
+        with a different seed must still broadcast on the original
+        schedule.
+        """
+        return {
+            "now": self._now,
+            "phase": [int(p) for p in self._phase],
+            "boards": [{"view": b.view.tolist(), "age": b.age.tolist()}
+                       for b in self.boards],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (accepts JSON-decoded dicts)."""
+        if len(state["boards"]) != len(self.boards):
+            raise ValueError(
+                f"snapshot has {len(state['boards'])} boards, "
+                f"expected {len(self.boards)}")
+        self._now = int(state["now"])
+        self._phase = np.asarray(state["phase"], dtype=np.int64)
+        for board, payload in zip(self.boards, state["boards"]):
+            board.view[...] = np.asarray(payload["view"], dtype=np.int32)
+            board.age[...] = np.asarray(payload["age"], dtype=np.int64)
+
     # -- queries ---------------------------------------------------------------
 
     def board_of(self, node: int) -> OccupancyBoard:

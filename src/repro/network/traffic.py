@@ -55,6 +55,18 @@ class Flow:
         """Sub-slots this flow needs at a given slot granularity."""
         return max(1, int(np.ceil(self.gbps / gbps_per_slot)))
 
+    def to_dict(self) -> dict:
+        """JSON-stable form (simulator snapshots of in-flight flows)."""
+        return {"src": self.src, "dst": self.dst, "gbps": self.gbps,
+                "kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Flow":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded dicts)."""
+        return cls(src=int(payload["src"]), dst=int(payload["dst"]),
+                   gbps=float(payload["gbps"]),
+                   kind=str(payload.get("kind", "generic")))
+
 
 def uniform_traffic(n_nodes: int, n_flows: int, gbps: float = 25.0,
                     rng: SeedLike = None) -> list[Flow]:

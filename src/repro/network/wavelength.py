@@ -258,6 +258,40 @@ class WavelengthAllocator:
         """Clear all occupancy (failed planes stay failed)."""
         self._occupancy.fill(0)
 
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-stable capture of all mutable state.
+
+        Occupancy counts and the failed-plane set are the allocator's
+        entire mutable surface; everything else is construction-time
+        configuration. The dict round-trips losslessly through the
+        result cache's JSON encoding (ints only).
+        """
+        return {"occupancy": self._occupancy.tolist(),
+                "failed_planes": sorted(self._failed_planes)}
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (accepts JSON-decoded dicts).
+
+        The allocator must have the same dimensions the snapshot was
+        taken with; occupancy is copied in place so any views other
+        components hold stay valid.
+        """
+        occupancy = np.asarray(state["occupancy"], dtype=np.int32)
+        if occupancy.shape != self._occupancy.shape:
+            raise ValueError(
+                f"snapshot occupancy shape {occupancy.shape} does not "
+                f"match allocator shape {self._occupancy.shape}")
+        failed = {int(p) for p in state["failed_planes"]}
+        if any(not 0 <= p < self.planes for p in failed):
+            raise ValueError("snapshot failed plane out of range")
+        self._occupancy[...] = occupancy
+        self._failed_planes = failed
+        self._healthy = np.ones(self.planes, dtype=bool)
+        if failed:
+            self._healthy[sorted(failed)] = False
+
     # -- failure injection -------------------------------------------------------
 
     @property

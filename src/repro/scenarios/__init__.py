@@ -70,6 +70,7 @@ from repro.scenarios.scenario import (
     derive_epoch_seed,
 )
 from repro.scenarios.sharding import (
+    BOUNDARY_MODES,
     ChunkKey,
     ChunkStatus,
     ShardedScenarioResult,
@@ -82,6 +83,7 @@ from repro.scenarios.sharding import (
 __all__ = [
     "AWGRBackend",
     "BACKENDS",
+    "BOUNDARY_MODES",
     "ChunkKey",
     "ChunkStatus",
     "ElectronicBackend",

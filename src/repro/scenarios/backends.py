@@ -69,8 +69,13 @@ class EpochReport:
 
     @property
     def acceptance_ratio(self) -> float:
-        """Fraction of offered flows carried (1.0 when idle)."""
-        return self.carried / self.offered if self.offered else 1.0
+        """Fraction of offered flows carried.
+
+        A zero-offered epoch reports 0.0, not 1.0 — an idle epoch must
+        never read as "perfect fabric" in aggregated tables (the same
+        bug :attr:`ScenarioReport.throughput_ratio` had).
+        """
+        return self.carried / self.offered if self.offered else 0.0
 
     @property
     def indirect_fraction(self) -> float:
@@ -133,6 +138,21 @@ class FabricBackend(Protocol):
 
     def apply_event(self, event: ScenarioEvent) -> bool:
         """Apply a scripted event; return False if unsupported."""
+        ...
+
+    def snapshot(self) -> dict:
+        """JSON-stable capture of all mutable run state.
+
+        Must round-trip losslessly through the result cache's JSON
+        encoding: ``restore(snapshot())`` on an identically configured
+        fresh instance, then N epochs, is bit-identical to stepping
+        the original instance N epochs. This is what carry-mode
+        chunked replays checkpoint at chunk boundaries.
+        """
+        ...
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot` (accepts JSON-decoded dicts)."""
         ...
 
 
@@ -232,6 +252,18 @@ class AWGRBackend:
             return True
         return False
 
+    def snapshot(self) -> dict:
+        return {"backend": self.name, "epoch": self._epoch,
+                "sim": self.sim.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        if state.get("backend") != self.name:
+            raise ValueError(
+                f"snapshot is for backend {state.get('backend')!r}, "
+                f"not {self.name!r}")
+        self._epoch = int(state["epoch"])
+        self.sim.restore(state["sim"])
+
 
 @dataclass
 class WSSBackend:
@@ -326,6 +358,24 @@ class WSSBackend:
             return True
         return False
 
+    def snapshot(self) -> dict:
+        # reconfig_period lives on the backend (events mutate it) and
+        # the switch bank / lag settings on the fabric.
+        return {"backend": self.name, "epoch": self._epoch,
+                "since_reconfig": self._since_reconfig,
+                "reconfig_period": self.reconfig_period,
+                "fabric": self.fabric.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        if state.get("backend") != self.name:
+            raise ValueError(
+                f"snapshot is for backend {state.get('backend')!r}, "
+                f"not {self.name!r}")
+        self._epoch = int(state["epoch"])
+        self._since_reconfig = int(state["since_reconfig"])
+        self.reconfig_period = int(state["reconfig_period"])
+        self.fabric.restore(state["fabric"])
+
 
 @dataclass
 class ElectronicBackend:
@@ -376,6 +426,19 @@ class ElectronicBackend:
 
     def apply_event(self, event: ScenarioEvent) -> bool:
         return False
+
+    def snapshot(self) -> dict:
+        # Lane caps are pure functions of the configuration
+        # (ELECTRONIC_CATALOG is immutable), so the epoch counter is
+        # the comparator's entire mutable state.
+        return {"backend": self.name, "epoch": self._epoch}
+
+    def restore(self, state: dict) -> None:
+        if state.get("backend") != self.name:
+            raise ValueError(
+                f"snapshot is for backend {state.get('backend')!r}, "
+                f"not {self.name!r}")
+        self._epoch = int(state["epoch"])
 
 
 def make_backend(name: str, n_nodes: int, seed: int = 0,

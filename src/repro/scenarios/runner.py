@@ -61,10 +61,15 @@ class ScenarioReport:
 
     @property
     def acceptance_ratio(self) -> float:
-        """Carried / offered flow count over the whole run."""
+        """Carried / offered flow count over the whole run.
+
+        A zero-offered run reports 0.0, not 1.0, mirroring
+        :attr:`throughput_ratio` — an idle scenario must never read as
+        "perfect fabric" in aggregated CI tables.
+        """
         offered = sum(e.offered for e in self.epochs)
         carried = sum(e.carried for e in self.epochs)
-        return carried / offered if offered else 1.0
+        return carried / offered if offered else 0.0
 
     @property
     def indirect_fraction(self) -> float:

@@ -146,6 +146,16 @@ class TestRunReports:
         assert {"offered", "carried", "blocked", "acceptance_ratio",
                 "indirect_fraction"} <= set(d)
 
+    def test_zero_offered_run_is_not_a_perfect_fabric(self):
+        # Regression: an idle run used to report acceptance_ratio and
+        # throughput_ratio of 1.0, reading as "perfect fabric" in
+        # benchmark tables (same bug the scenario-layer ratios had).
+        sim = AWGRNetworkSimulator(n_nodes=6)
+        report = sim.run([[], []])
+        assert report.offered == 0
+        assert report.acceptance_ratio == 0.0
+        assert report.throughput_ratio == 0.0
+
 
 class TestStaleness:
     def test_stale_state_still_carries_traffic(self):

@@ -25,9 +25,16 @@ class TestEpochReport:
         assert report.blocked_gbps == 20.0
 
     def test_idle_epoch_ratios(self):
+        # Regression: a zero-offered epoch used to report a perfect
+        # 1.0 acceptance ratio, so idle runs read as "perfect fabric"
+        # in aggregated tables (the same bug throughput_ratio had).
         report = EpochReport(epoch=0)
-        assert report.acceptance_ratio == 1.0
+        assert report.acceptance_ratio == 0.0
         assert report.indirect_fraction == 0.0
+
+    def test_nonzero_offered_acceptance(self):
+        report = EpochReport(epoch=0, offered=4, carried=3)
+        assert report.acceptance_ratio == 0.75
 
 
 class TestMakeBackend:

@@ -102,6 +102,10 @@ class TestAggregates:
         assert report.offered_gbps == 0.0
         assert report.throughput_ratio == 0.0
         assert report.as_dict()["throughput_ratio"] == 0.0
+        # Same idle-run-reads-as-perfect bug, flow-count flavor: the
+        # acceptance ratio of a zero-offered run must be 0.0 too.
+        assert report.acceptance_ratio == 0.0
+        assert report.as_dict()["acceptance_ratio"] == 0.0
 
 
 class TestSeedingModes:

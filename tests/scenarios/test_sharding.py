@@ -1,11 +1,13 @@
 """Sharded scenario execution: per-epoch seed invariance, chunked
-equivalence, checkpointing, interrupt + resume."""
+equivalence, checkpointing, interrupt + resume, and carry-mode
+(snapshot-carried) chunk boundaries."""
 
 import pytest
 
 from repro.experiments import ResultCache
 from repro.experiments.cache import decode_metrics, encode_metrics
 from repro.scenarios import (
+    BACKENDS,
     SCENARIOS,
     Episode,
     EpochReport,
@@ -16,6 +18,7 @@ from repro.scenarios import (
     chunk_backend_seed,
     chunk_ranges,
     derive_epoch_seed,
+    execute_chunk,
     make_backend,
 )
 
@@ -238,6 +241,196 @@ class TestInterruptResume:
         assert not result.complete
         failed = [c for c in result.chunks if c.state == "failed"]
         assert "RuntimeError" in failed[0].error
+
+
+def sustained_scenario(n_epochs=9):
+    """Capacity-bound load whose in-flight flows cross boundaries.
+
+    The 125 Gbps hotspot flows occupy 5 sub-slots for 2 epochs each,
+    so a reset boundary (which drops them) visibly changes the next
+    chunk's admission — the probe that separates carry from reset.
+    """
+    return Scenario(
+        name="sustained", n_nodes=10, n_epochs=n_epochs,
+        episodes=(
+            Episode(kind="uniform",
+                    flows={"dist": "poisson", "mean": 12}, gbps=25.0),
+            Episode(kind="hotspot", flows=6, gbps=125.0,
+                    params={"hotspot": 0}),
+        ),
+        events=(
+            ScenarioEvent(epoch=2, action="fail_plane", value=0),
+            ScenarioEvent(epoch=6, action="repair_plane", value=0),
+        ))
+
+
+class TestCarryBoundaries:
+    """Tentpole acceptance: carry-mode chunked replays are bit-exact."""
+
+    def test_carry_matches_monolithic_all_scenarios_and_backends(self):
+        # The full acceptance matrix: every registered scenario x
+        # every backend, chunked with carried snapshots, must merge
+        # to the monolithic run bit for bit (aggregates AND rows).
+        for scenario in SCENARIOS.values():
+            trimmed = scenario.with_epochs(min(scenario.n_epochs, 8))
+            for backend in BACKENDS:
+                mono = ScenarioRunner(
+                    trimmed,
+                    make_backend(backend, trimmed.n_nodes, seed=3),
+                ).run(seed=3)
+                merged = ShardedScenarioRunner(
+                    trimmed, backend, chunk_epochs=3,
+                    boundary="carry", base_seed=3).run().report()
+                assert merged.as_dict() == mono.as_dict(), \
+                    (scenario.name, backend)
+                assert merged.rows() == mono.rows(), \
+                    (scenario.name, backend)
+
+    def test_carry_exact_where_reset_drifts(self):
+        # The bug this PR fixes: under sustained load, reset-mode
+        # boundaries drop in-flight flows and the merged aggregates
+        # drift from the monolithic run; carry mode must not.
+        scenario = sustained_scenario()
+        mono = ScenarioRunner(
+            scenario, make_backend("awgr", scenario.n_nodes, seed=0),
+        ).run(seed=0).as_dict()
+        carry = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=3,
+            boundary="carry", base_seed=0).run().report().as_dict()
+        reset = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=3,
+            boundary="reset", base_seed=0).run().report().as_dict()
+        assert carry == mono
+        assert reset != mono  # the drift carry mode exists to remove
+
+    def test_carry_chunk_size_invariance(self):
+        scenario = sustained_scenario()
+        reports = [
+            ShardedScenarioRunner(
+                scenario, "awgr", chunk_epochs=chunk,
+                boundary="carry", base_seed=5).run().report().as_dict()
+            for chunk in (1, 2, 4, scenario.n_epochs)]
+        assert all(r == reports[0] for r in reports[1:])
+
+    def test_carry_pipelines_across_shards_via_shared_cache(
+            self, tmp_path):
+        # A shard can only compute a chunk once its predecessor's
+        # checkpoint exists: alternating shard passes over one cache
+        # converge on the full replay, bit-identical to monolithic.
+        scenario = sustained_scenario()
+        cache = ResultCache(tmp_path)
+        kwargs = dict(chunk_epochs=2, boundary="carry", base_seed=1,
+                      cache=cache)
+        first = ShardedScenarioRunner(scenario, "awgr", shards=2,
+                                      shard_index=0, **kwargs).run()
+        # Owns chunks 0, 2, 4 but can only run chunk 0: chunk 1's
+        # snapshot does not exist yet.
+        assert first.n_computed == 1
+        assert first.chunks[0].state == "computed"
+        assert all(c.state == "pending" for c in first.chunks[1:])
+        for _ in range(len(first.chunks)):
+            for index in range(2):
+                ShardedScenarioRunner(scenario, "awgr", shards=2,
+                                      shard_index=index,
+                                      **kwargs).run(resume=True)
+        assembled = ShardedScenarioRunner(
+            scenario, "awgr", shards=2, **kwargs).run(resume=True)
+        assert assembled.complete
+        assert assembled.n_cached == len(assembled.chunks)
+        mono = ScenarioRunner(
+            scenario, make_backend("awgr", scenario.n_nodes, seed=1),
+        ).run(seed=1)
+        assert assembled.report().as_dict() == mono.as_dict()
+
+    def test_carry_resume_restores_last_checkpointed_snapshot(
+            self, tmp_path):
+        # "Interrupt" after the first chunk; the resume pass must
+        # restore its snapshot rather than recompute it, and still
+        # match an uninterrupted carry run.
+        scenario = sustained_scenario()
+        cache = ResultCache(tmp_path)
+        kwargs = dict(chunk_epochs=4, boundary="carry", base_seed=2,
+                      cache=cache)
+        partial = ShardedScenarioRunner(scenario, "awgr", shards=3,
+                                        shard_index=0, **kwargs).run()
+        assert partial.n_computed == 1 and not partial.complete
+        resumed = ShardedScenarioRunner(scenario, "awgr",
+                                        **kwargs).run(resume=True)
+        assert resumed.n_cached == 1
+        assert resumed.n_computed == len(resumed.chunks) - 1
+        uninterrupted = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=4, boundary="carry",
+            base_seed=2).run()
+        assert (resumed.report().as_dict()
+                == uninterrupted.report().as_dict())
+
+    def test_carry_and_reset_checkpoints_never_mix(self, tmp_path):
+        scenario = sustained_scenario()
+        cache = ResultCache(tmp_path)
+        ShardedScenarioRunner(scenario, "awgr", chunk_epochs=3,
+                              boundary="carry", base_seed=0,
+                              cache=cache).run()
+        reset = ShardedScenarioRunner(scenario, "awgr", chunk_epochs=3,
+                                      boundary="reset", base_seed=0,
+                                      cache=cache).run(resume=True)
+        assert reset.n_cached == 0  # no cross-mode reuse
+
+    def test_carry_failed_chunk_blocks_successors(self):
+        # Failing the last WSS switch raises at epoch 1, inside chunk
+        # 0; every later chunk must stay pending (its predecessor
+        # snapshot is gone), never continue from wrong state.
+        scenario = small_scenario()
+        result = ShardedScenarioRunner(
+            scenario, "wss", backend_params={"n_switches": 1},
+            chunk_epochs=2, boundary="carry", base_seed=0).run()
+        states = [c.state for c in result.chunks]
+        assert states[0] == "failed"
+        assert all(s == "pending" for s in states[1:])
+        assert not result.complete
+
+    def test_carry_chunk_without_snapshot_rejected(self):
+        scenario = small_scenario()
+        with pytest.raises(ValueError, match="snapshot"):
+            execute_chunk(scenario.to_config(), "awgr", {}, 2, 4,
+                          base_seed=0, boundary="carry")
+
+    def test_unknown_boundary_rejected(self):
+        with pytest.raises(ValueError, match="boundary"):
+            ShardedScenarioRunner(small_scenario(), boundary="merge")
+        with pytest.raises(ValueError, match="boundary"):
+            execute_chunk(small_scenario().to_config(), "awgr", {},
+                          0, 2, base_seed=0, boundary="merge")
+
+
+class TestEventsReplayed:
+    """Satellite: replay counters count *applied* events only."""
+
+    def test_ignored_events_do_not_count_as_replayed(self):
+        # The electronic backend supports no events: replaying the
+        # pre-chunk script applies nothing, so events_replayed must be
+        # 0 (the old code counted every scripted event).
+        scenario = small_scenario()
+        payload = execute_chunk(scenario.to_config(), "electronic",
+                                {}, 4, 6, base_seed=0)
+        assert payload["events_replayed"] == 0
+        # The AWGR backend applies both the failure and the repair.
+        payload = execute_chunk(scenario.to_config(), "awgr", {},
+                                5, 6, base_seed=0)
+        assert payload["events_replayed"] == 2
+
+    def test_rows_surface_replay_cost(self):
+        scenario = small_scenario()
+        result = ShardedScenarioRunner(scenario, "awgr",
+                                       chunk_epochs=2,
+                                       base_seed=0).run()
+        rows = result.rows()
+        # fail_plane@1 precedes chunks 1 and 2; repair_plane@4 fires
+        # *inside* chunk 2, so it is applied there, not replayed.
+        assert [r["events_replayed"] for r in rows] == [0, 1, 1]
+        carry_rows = ShardedScenarioRunner(
+            scenario, "awgr", chunk_epochs=2, boundary="carry",
+            base_seed=0).run().rows()
+        assert [r["events_replayed"] for r in carry_rows] == [0, 0, 0]
 
 
 class TestValidation:
