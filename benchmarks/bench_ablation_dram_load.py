@@ -6,34 +6,27 @@ moderate load with bank-level parallelism; heavier memory traffic
 raises the effective base latency, which *shrinks* the relative impact
 of the fixed 35 ns photonic adder — disaggregation hurts bandwidth-
 starved codes less than latency-bound ones.
+
+Runs on the sweep engine: the grid in
+``repro.experiments.library.ABLATION_DRAM_LOAD`` replaces the old
+hand-rolled demand loop.
 """
 
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.cpu.dram import DRAMChannel
-from repro.cpu.memory import MemoryModel
-from repro.cpu.simulator import CPUSimulator
-from repro.workloads.cpu_suites import parsec_benchmarks
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _sweep():
-    channel = DRAMChannel()
-    bench = next(b for b in parsec_benchmarks("large")
-                 if b.name == "canneal")
-    rows = []
-    for demand in (2.0, 5.0, 12.0, 20.0):
-        base_ns = channel.effective_miss_latency_ns(demand, blp=4.0)
-        sim = CPUSimulator(memory=MemoryModel(base_latency_ns=base_ns))
-        result = sim.run_inorder(bench.trace_spec(), 35.0,
-                                 cpi_base=bench.cpi_inorder)
-        rows.append({
-            "demand_gbyte_s": demand,
-            "effective_base_ns": base_ns,
-            "queueing_ns": channel.queueing_ns(demand),
-            "canneal_slowdown@35ns": result.slowdown,
-        })
-    return rows
+    result = SweepRunner(workers=1).run(
+        get_experiment("ablation_dram_load")).raise_on_failure()
+    return [{
+        "demand_gbyte_s": row["demand_gbyte_s"],
+        "effective_base_ns": row["effective_base_ns"],
+        "queueing_ns": row["queueing_ns"],
+        "canneal_slowdown@35ns": row["slowdown"],
+    } for row in result.rows()]
 
 
 def test_ablation_dram_load(benchmark):

@@ -1,0 +1,54 @@
+"""``repro.checks`` — AST-based invariant linting for the simulator.
+
+The repo's three load-bearing invariants (complete JSON-stable
+``snapshot()``/``restore()`` pairs, seeded-generator-only randomness,
+full protocol conformance for backends and executors) are enforced
+statically by the rules in :mod:`repro.checks.rules`, run over the
+source tree by :func:`run_checks`, gated in CI through the committed
+baseline in ``repro-check.baseline.json``, and exposed on the command
+line as ``repro check``.
+"""
+
+from repro.checks.baseline import (
+    DEFAULT_BASELINE,
+    BaselineComparison,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.context import ModuleContext
+from repro.checks.engine import (
+    CheckReport,
+    ParseError,
+    check_file,
+    check_source,
+    display_path,
+    iter_python_files,
+    run_checks,
+)
+from repro.checks.findings import Finding
+from repro.checks.report import render_json, render_rules, render_text
+from repro.checks.rules import RULES, Rule, register
+
+__all__ = [
+    "BaselineComparison",
+    "CheckReport",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "ModuleContext",
+    "ParseError",
+    "RULES",
+    "Rule",
+    "check_file",
+    "check_source",
+    "compare",
+    "display_path",
+    "iter_python_files",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_rules",
+    "render_text",
+    "run_checks",
+    "write_baseline",
+]

@@ -1,0 +1,72 @@
+"""Baseline file: grandfathered findings that don't fail the gate.
+
+The baseline is a committed JSON file mapping finding fingerprints
+(line-independent — see :mod:`repro.checks.findings`) to their last
+known message. ``repro check`` fails only on findings *not* in the
+baseline, so a legacy violation can be ratcheted down over time while
+new code is held to the full standard. Entries with multiplicity are
+honored (two identical fingerprints baseline two findings); entries
+that no longer match anything are reported as *stale* so the file
+never rots silently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checks.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default committed location, relative to the invocation directory.
+DEFAULT_BASELINE = "repro-check.baseline.json"
+
+
+@dataclass
+class BaselineComparison:
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(f"baseline {path} has version {version!r}; "
+                         f"this checker writes {BASELINE_VERSION}")
+    return Counter(entry["fingerprint"]
+                   for entry in payload.get("findings", []))
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write all current findings as the new baseline."""
+    entries = [{"fingerprint": f.fingerprint, "rule": f.rule,
+                "path": f.path, "message": f.message}
+               for f in sorted(findings)]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def compare(findings: list[Finding],
+            baseline: Counter) -> BaselineComparison:
+    """Split findings into new vs. baselined; surface stale entries."""
+    remaining = Counter(baseline)
+    result = BaselineComparison()
+    for finding in sorted(findings):
+        if remaining[finding.fingerprint] > 0:
+            remaining[finding.fingerprint] -= 1
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+    result.stale = sorted(fp for fp, count in remaining.items()
+                          if count > 0 for _ in range(count))
+    return result

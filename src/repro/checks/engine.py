@@ -1,0 +1,132 @@
+"""File discovery, per-file rule dispatch, suppression filtering.
+
+The engine is import-light and side-effect free: it parses each file
+once into a :class:`~repro.checks.context.ModuleContext`, hands that
+to every (selected) registered rule, and filters findings through the
+file's ``# repro-check: disable`` directives. Files that fail to
+parse are reported as errors, never swallowed — the CI smoke that
+"the checker parses everything under ``src/``" is just a run whose
+error list must stay empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules import RULES
+
+
+@dataclass(frozen=True)
+class ParseError:
+    """One file the checker could not parse."""
+
+    path: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}: PARSE {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "message": self.message}
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one engine run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[ParseError] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    def extend(self, other: "CheckReport") -> None:
+        self.findings.extend(other.findings)
+        self.errors.extend(other.errors)
+        self.files += other.files
+        self.suppressed += other.suppressed
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files,
+    skipping hidden directories and ``__pycache__``."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path).parts
+                if any(part == "__pycache__" or part.startswith(".")
+                       for part in relative):
+                    continue
+                out.append(candidate)
+        else:
+            out.append(path)
+    return out
+
+
+def display_path(path: str | Path) -> str:
+    """Stable, cwd-relative POSIX path for reports and fingerprints."""
+    path = Path(path)
+    try:
+        path = path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return path.as_posix()
+
+
+def _selected_rules(rules: Sequence[str] | None):
+    if rules is None:
+        return list(RULES.values())
+    unknown = [r for r in rules if r not in RULES]
+    if unknown:
+        raise KeyError(f"unknown rule(s) {unknown}; "
+                       f"known: {sorted(RULES)}")
+    return [RULES[r] for r in rules]
+
+
+def check_source(source: str, path: str,
+                 rules: Sequence[str] | None = None) -> CheckReport:
+    """Run rules over one in-memory source blob."""
+    report = CheckReport(files=1)
+    try:
+        ctx = ModuleContext.parse(source, path)
+    except SyntaxError as exc:
+        report.errors.append(ParseError(
+            path=path, message=f"{exc.msg} (line {exc.lineno})"))
+        return report
+    for rule in _selected_rules(rules):
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort()
+    return report
+
+
+def check_file(path: str | Path,
+               rules: Sequence[str] | None = None) -> CheckReport:
+    path = Path(path)
+    shown = display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        report = CheckReport(files=1)
+        report.errors.append(ParseError(path=shown, message=str(exc)))
+        return report
+    return check_source(source, shown, rules=rules)
+
+
+def run_checks(paths: Iterable[str | Path],
+               rules: Sequence[str] | None = None) -> CheckReport:
+    """Check every python file under ``paths``."""
+    _selected_rules(rules)  # validate names before any file work
+    report = CheckReport()
+    for path in iter_python_files(paths):
+        report.extend(check_file(path, rules=rules))
+    report.findings.sort()
+    return report

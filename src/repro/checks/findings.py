@@ -1,0 +1,43 @@
+"""Findings: one rule violation at one source location.
+
+A finding's :attr:`~Finding.fingerprint` deliberately excludes the
+line number — baselines must survive unrelated edits that shift code
+around, so rules provide a *semantic* ``key`` (``Class.attr``, a
+dotted call name plus occurrence index, …) that only changes when the
+flagged construct itself does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation, sortable into stable report order."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    key: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        return f"{self.rule}:{self.path}:{self.key}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "key": self.key,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

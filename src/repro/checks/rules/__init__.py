@@ -1,0 +1,46 @@
+"""Rule registry: every rule registers itself on import.
+
+A rule is a stateless object with a ``rule_id``, a one-line
+``summary``, and ``check(ctx) -> Iterable[Finding]`` taking one
+:class:`~repro.checks.context.ModuleContext`. The engine instantiates
+nothing at check time — the registry holds singletons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+
+#: rule_id -> rule singleton, populated by :func:`register`.
+RULES: dict[str, "Rule"] = {}
+
+
+class Rule:
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance to :data:`RULES`."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} needs a rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls()
+    return cls
+
+
+# Import order fixes report order for same-location findings; each
+# module registers its rule as a side effect.
+from repro.checks.rules import (  # noqa: E402,F401
+    snapshot,
+    determinism,
+    protocol,
+    jsonstable,
+    defaults,
+)

@@ -1,0 +1,64 @@
+"""PY001 — mutable default argument.
+
+A ``def f(x, acc=[])`` default is evaluated once at function
+definition and shared across every call — the classic Python trap,
+doubly dangerous in a codebase where accumulated state must be
+snapshot-able. Flags list/dict/set displays, comprehensions, and
+bare ``list()``/``dict()``/``set()``/``bytearray()`` calls used as
+defaults; the fix is a ``None`` default materialized in the body
+(or ``dataclasses.field(default_factory=...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules import Rule, register
+
+RULE_ID = "PY001"
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+def _defaults_with_names(args: ast.arguments):
+    positional = list(args.posonlyargs) + list(args.args)
+    for arg, default in zip(positional[len(positional)
+                                       - len(args.defaults):],
+                            args.defaults):
+        yield arg.arg, default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            yield arg.arg, default
+
+
+@register
+class MutableDefaultArgument(Rule):
+    rule_id = RULE_ID
+    summary = "no mutable default arguments"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            for param, default in _defaults_with_names(node.args):
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        RULE_ID, default, key=f"{name}.{param}",
+                        message=(f"mutable default for parameter "
+                                 f"{param!r} of {name}() is shared "
+                                 f"across calls; default to None and "
+                                 f"build it in the body"))

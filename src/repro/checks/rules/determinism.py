@@ -1,0 +1,152 @@
+"""SIM002 — determinism: no unseeded or wall-clock entropy sources.
+
+Simulation code must draw all randomness from explicitly seeded
+generators (``np.random.default_rng(seed)``, ``as_generator``,
+``derive_epoch_seed``) so that every epoch is reproducible bit for
+bit. This rule flags the escape hatches:
+
+* ``np.random.<fn>(...)`` draws from the global legacy state
+  (``rand``, ``randint``, ``shuffle``, ``seed``, …);
+* ``np.random.default_rng()`` / ``default_rng(None)`` — OS entropy;
+* the stdlib ``random`` module (global Mersenne Twister);
+* ``time.time()`` / ``time.time_ns()`` and ``datetime.now()`` /
+  ``utcnow()`` / ``date.today()`` — wall-clock values that change
+  between runs. ``time.perf_counter()`` is fine: it only ever feeds
+  duration telemetry, never simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.classinfo import dotted_name
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules import Rule, register
+
+RULE_ID = "SIM002"
+
+#: np.random members that are fine: explicit-state constructors.
+_RNG_CONSTRUCTORS = frozenset({
+    "Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM",
+    "Philox", "MT19937", "SFC64",
+})
+
+_WALLCLOCK_TIME = frozenset({"time", "time_ns"})
+_WALLCLOCK_DATETIME = {"now": "datetime", "utcnow": "datetime",
+                       "today": "date"}
+
+
+def _module_imports(tree: ast.Module) -> tuple[set[str], set[str],
+                                               dict[str, str]]:
+    """(numpy aliases, plain module imports, names imported from
+    random/numpy.random/datetime mapped to their source module)."""
+    numpy_aliases: set[str] = set()
+    modules: set[str] = set()
+    from_names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                local = alias.asname or top
+                if top == "numpy":
+                    numpy_aliases.add(local)
+                modules.add(local if alias.asname else top)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module in ("random", "numpy.random", "datetime"):
+                for alias in node.names:
+                    from_names[alias.asname or alias.name] = node.module
+    return numpy_aliases, modules, from_names
+
+
+def _is_bare_rng(call: ast.Call) -> bool:
+    """default_rng with no seed (or an explicit None seed)."""
+    if call.keywords:
+        return any(kw.arg in (None, "seed")
+                   and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is None for kw in call.keywords)
+    if not call.args:
+        return True
+    return (len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is None)
+
+
+@register
+class Determinism(Rule):
+    rule_id = RULE_ID
+    summary = ("randomness must flow through seeded generators; no "
+               "global RNG state or wall-clock reads")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        numpy_aliases, modules, from_names = _module_imports(ctx.tree)
+        counts: dict[str, int] = {}
+
+        def finding(node: ast.Call, label: str,
+                    message: str) -> Finding:
+            n = counts.get(label, 0)
+            counts[label] = n + 1
+            return ctx.finding(RULE_ID, node, key=f"{label}#{n}",
+                               message=message)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            label = ".".join(dotted)
+            # -- numpy global/unseeded RNG -------------------------------------
+            if (len(dotted) == 3 and dotted[0] in numpy_aliases
+                    and dotted[1] == "random"):
+                fn = dotted[2]
+                if fn == "default_rng":
+                    if _is_bare_rng(node):
+                        yield finding(
+                            node, label,
+                            f"{label}() without a seed draws OS "
+                            f"entropy; pass an explicit seed "
+                            f"(derive_epoch_seed / as_generator)")
+                elif fn not in _RNG_CONSTRUCTORS:
+                    yield finding(
+                        node, label,
+                        f"{label}() uses numpy's global RNG state; "
+                        f"use a seeded np.random.default_rng(seed)")
+            elif (len(dotted) == 1
+                    and from_names.get(dotted[0]) == "numpy.random"
+                    and dotted[0] == "default_rng" and _is_bare_rng(node)):
+                yield finding(
+                    node, label,
+                    "default_rng() without a seed draws OS entropy; "
+                    "pass an explicit seed")
+            # -- stdlib random -------------------------------------------------
+            elif (len(dotted) == 2 and dotted[0] == "random"
+                    and "random" in modules):
+                yield finding(
+                    node, label,
+                    f"stdlib {label}() uses the global Mersenne "
+                    f"Twister; use a seeded numpy Generator")
+            elif (len(dotted) == 1
+                    and from_names.get(dotted[0]) == "random"):
+                yield finding(
+                    node, label,
+                    f"stdlib random.{dotted[0]}() uses the global "
+                    f"Mersenne Twister; use a seeded numpy Generator")
+            # -- wall clock ----------------------------------------------------
+            elif (len(dotted) == 2 and dotted[0] == "time"
+                    and dotted[1] in _WALLCLOCK_TIME
+                    and "time" in modules):
+                yield finding(
+                    node, label,
+                    f"{label}() reads the wall clock; simulation "
+                    f"state must not depend on it (perf_counter is "
+                    f"fine for duration telemetry)")
+            elif (len(dotted) >= 2
+                    and dotted[-1] in _WALLCLOCK_DATETIME
+                    and dotted[-2] == _WALLCLOCK_DATETIME[dotted[-1]]
+                    and (dotted[0] in from_names or dotted[0] in modules)):
+                yield finding(
+                    node, label,
+                    f"{label}() reads the wall clock; runs would "
+                    f"stop being reproducible")

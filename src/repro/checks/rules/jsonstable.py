@@ -1,0 +1,140 @@
+"""SIM004 — JSON stability of snapshot/to_dict payloads.
+
+Snapshots ride through the result cache's JSON encoding
+(``encode_metrics``/``decode_metrics``), so anything JSON cannot
+represent losslessly corrupts a resumed run: sets and tuples decode
+as lists (or fail), numpy arrays/scalars aren't serializable at all,
+and non-string dict keys come back stringified. This rule inspects
+every dict built inside a ``snapshot()`` or ``to_dict()`` method and
+flags those constructs at the point of construction, where the fix
+(``.tolist()``, ``int(...)``, ``str(...)``, ``sorted(...)``) is one
+call away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.checks.classinfo import dotted_name
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules import Rule, register
+
+RULE_ID = "SIM004"
+
+_METHOD_NAMES = ("snapshot", "to_dict")
+
+_BAD_BUILTINS = frozenset({"set", "frozenset", "tuple"})
+_NUMPY_ARRAY_MAKERS = frozenset({
+    "array", "asarray", "zeros", "ones", "empty", "full", "arange",
+    "linspace",
+})
+_NUMPY_SCALARS = frozenset({
+    "int8", "int16", "int32", "int64", "uint8", "uint16", "uint32",
+    "uint64", "float16", "float32", "float64", "bool_",
+})
+#: ndarray reductions that yield numpy scalars when called as methods.
+_SCALAR_METHODS = frozenset({"sum", "mean", "max", "min", "prod",
+                             "std", "var"})
+
+
+def _value_problem(node: ast.expr) -> str | None:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set value does not survive the JSON round trip"
+    if isinstance(node, ast.Tuple) and isinstance(node.ctx, ast.Load):
+        return "tuple value decodes as a list after the JSON round trip"
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        if len(dotted) == 1 and dotted[0] in _BAD_BUILTINS:
+            return (f"{dotted[0]}() value does not survive the JSON "
+                    f"round trip")
+        if len(dotted) >= 2 and dotted[-1] in _NUMPY_ARRAY_MAKERS:
+            return (f"{'.'.join(dotted)}() yields an ndarray, which "
+                    f"is not JSON-serializable; use .tolist()")
+        if len(dotted) >= 2 and dotted[-1] in _NUMPY_SCALARS:
+            return (f"{'.'.join(dotted)}() yields a numpy scalar; "
+                    f"wrap it in int()/float()")
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SCALAR_METHODS
+                and not isinstance(node.func.value, ast.Name)):
+            return (f".{node.func.attr}() likely yields a numpy "
+                    f"scalar; wrap it in int()/float()")
+    return None
+
+
+def _iter_values(node: ast.expr) -> Iterator[ast.expr]:
+    """The value itself, plus elements of (nested) list displays —
+    stopping at nested dicts/comprehensions, which are visited in
+    their own right by the main walk."""
+    yield node
+    if isinstance(node, ast.List):
+        for element in node.elts:
+            yield from _iter_values(element)
+    elif isinstance(node, ast.ListComp):
+        yield from _iter_values(node.elt)
+
+
+def _key_problem(node: ast.expr | None) -> str | None:
+    if node is None:  # ``**expansion`` — contents unknown
+        return None
+    if isinstance(node, ast.Constant) and not isinstance(node.value, str):
+        return (f"non-string dict key {node.value!r} comes back "
+                f"stringified after the JSON round trip")
+    if isinstance(node, ast.Tuple):
+        return "tuple dict key is not JSON-serializable"
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted and len(dotted) == 1 and dotted[0] in ("int", "float"):
+            return (f"{dotted[0]}() dict key comes back stringified "
+                    f"after the JSON round trip; use str(...)")
+    return None
+
+
+@register
+class JsonStability(Rule):
+    rule_id = RULE_ID
+    summary = ("snapshot()/to_dict() payloads must be JSON-stable: no "
+               "sets, tuples, numpy values, or non-string keys")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        counts: dict[str, int] = {}
+
+        def finding(node: ast.expr, owner: str, what: str,
+                    message: str) -> Finding:
+            label = f"{owner}.{what}"
+            n = counts.get(label, 0)
+            counts[label] = n + 1
+            return ctx.finding(RULE_ID, node, key=f"{label}#{n}",
+                               message=message)
+
+        for func in ast.walk(ctx.tree):
+            if not (isinstance(func, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                    and func.name in _METHOD_NAMES):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.Dict):
+                    for key, value in zip(node.keys, node.values):
+                        problem = _key_problem(key)
+                        if problem:
+                            yield finding(key, func.name, "key",
+                                          f"in {func.name}(): {problem}")
+                        for part in _iter_values(value):
+                            problem = _value_problem(part)
+                            if problem:
+                                yield finding(
+                                    part, func.name, "value",
+                                    f"in {func.name}(): {problem}")
+                elif isinstance(node, ast.DictComp):
+                    problem = _key_problem(node.key)
+                    if problem:
+                        yield finding(node.key, func.name, "key",
+                                      f"in {func.name}(): {problem}")
+                    for part in _iter_values(node.value):
+                        problem = _value_problem(part)
+                        if problem:
+                            yield finding(part, func.name, "value",
+                                          f"in {func.name}(): {problem}")

@@ -1,0 +1,124 @@
+"""SIM001 — snapshot completeness.
+
+Any class defining both ``snapshot()`` and ``restore()`` must account
+for all of its mutable state, in two layers:
+
+* **attribute coverage** — every ``self.<attr>`` that is (a) assigned
+  a mutable value in ``__init__``/``__post_init__`` or (b) written by
+  any run-time method must be touched by ``snapshot()`` or
+  ``restore()``, unless the construction-time assignment carries a
+  ``# repro-check: config`` / ``# repro-check: derived`` marker;
+* **key symmetry** — when ``snapshot()`` returns a literal dict and
+  ``restore()`` reads constant keys off its state argument, the two
+  key sets must match exactly. This is what catches a key deleted
+  from the snapshot dict (restore still reads it) *and* a key added
+  to the snapshot that restore silently ignores.
+
+This is precisely the bug class a missed ``self._x`` caused in the
+in-flight-flows snapshot fix: state that existed, mutated every epoch,
+and never made it into the serialized form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.classinfo import (
+    INIT_METHODS,
+    AttrWrite,
+    ClassInfo,
+    collect_classes,
+    is_mutable_value,
+    returned_dict_keys,
+    self_attr_uses,
+    self_name,
+    state_key_reads,
+)
+from repro.checks.context import ModuleContext
+from repro.checks.findings import Finding
+from repro.checks.rules import Rule, register
+
+RULE_ID = "SIM001"
+
+#: Methods whose attribute writes do not make an attr "run-time state".
+_NON_RUNTIME = INIT_METHODS + ("snapshot", "restore")
+
+
+def _required_attrs(info: ClassInfo) -> dict[str, tuple[AttrWrite, str]]:
+    """attr -> (anchor write, reason) for attrs snapshot must cover."""
+    required: dict[str, tuple[AttrWrite, str]] = {}
+    init_writes: dict[str, AttrWrite] = {}
+    for write in info.writes_in(*INIT_METHODS):
+        init_writes.setdefault(write.attr, write)
+        if write.direct and is_mutable_value(write.value):
+            required.setdefault(
+                write.attr,
+                (write, f"assigned a mutable value in {write.method}()"))
+    for write in info.writes_outside(*_NON_RUNTIME):
+        anchor = init_writes.get(write.attr, write)
+        required.setdefault(
+            write.attr, (anchor, f"written by {write.method}()"))
+    return required
+
+
+@register
+class SnapshotCompleteness(Rule):
+    rule_id = RULE_ID
+    summary = ("snapshot()/restore() must cover every mutable attribute "
+               "and use matching state keys")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for info in collect_classes(ctx.tree):
+            if info.is_protocol:
+                continue
+            snap = info.methods.get("snapshot")
+            restore = info.methods.get("restore")
+            if snap is None or restore is None:
+                continue  # unpaired methods are SIM003's business
+            yield from self._check_attrs(ctx, info, snap, restore)
+            yield from self._check_keys(ctx, info, snap, restore)
+
+    def _check_attrs(self, ctx: ModuleContext, info: ClassInfo,
+                     snap: ast.FunctionDef,
+                     restore: ast.FunctionDef) -> Iterable[Finding]:
+        covered = self_attr_uses(snap) | self_attr_uses(restore)
+        for attr, (anchor, reason) in sorted(_required_attrs(info).items()):
+            if attr in covered:
+                continue
+            if ctx.marker_in_range(anchor.node):
+                continue
+            yield ctx.finding(
+                RULE_ID, anchor.node, key=f"{info.name}.{attr}",
+                message=(f"{info.name}.{attr} is {reason} but never "
+                         f"touched by snapshot()/restore(); serialize "
+                         f"it or mark the assignment `# repro-check: "
+                         f"config` / `# repro-check: derived`"))
+
+    def _check_keys(self, ctx: ModuleContext, info: ClassInfo,
+                    snap: ast.FunctionDef,
+                    restore: ast.FunctionDef) -> Iterable[Finding]:
+        written = returned_dict_keys(snap)
+        if written is None:
+            return  # snapshot dict not statically known
+        params = [a.arg for a in (list(restore.args.posonlyargs)
+                                  + list(restore.args.args))]
+        selfname = self_name(restore)
+        params = [p for p in params if p != selfname]
+        if not params:
+            return
+        reads = state_key_reads(restore, params[0])
+        if not reads:
+            return  # restore consumes the dict dynamically
+        for key in sorted(set(reads) - written):
+            yield ctx.finding(
+                RULE_ID, reads[key],
+                key=f"{info.name}.key:{key}",
+                message=(f"{info.name}.restore() reads state key "
+                         f"{key!r} that snapshot() never writes"))
+        for key in sorted(written - set(reads)):
+            yield ctx.finding(
+                RULE_ID, snap, key=f"{info.name}.key:{key}",
+                message=(f"{info.name}.snapshot() writes key {key!r} "
+                         f"that restore() never reads — state would "
+                         f"be saved but silently not restored"))

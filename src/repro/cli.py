@@ -333,6 +333,52 @@ def _cmd_scenario(args: argparse.Namespace) -> None:
     print(render_kv(report.as_dict(), title="Aggregate"))
 
 
+def _cmd_check(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro import checks
+
+    if args.list_rules:
+        print(checks.render_rules())
+        return
+    paths = args.paths
+    if not paths:
+        # Repo-root invocation checks the source tree; elsewhere, fall
+        # back to the installed package itself.
+        default = Path("src/repro")
+        paths = [default if default.is_dir()
+                 else Path(__file__).resolve().parent]
+    rules = [r.upper() for r in args.select] if args.select else None
+    try:
+        report = checks.run_checks(paths, rules=([] if args.parse_only
+                                                 else rules))
+    except KeyError as exc:
+        raise SystemExit(f"check: {exc.args[0]}") from None
+    if args.parse_only:
+        for error in report.errors:
+            print(error.render())
+        print(f"{report.files} files parsed, "
+              f"{len(report.errors)} error(s)")
+        if report.errors:
+            raise SystemExit(1)
+        return
+    if args.write_baseline:
+        checks.write_baseline(args.baseline, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to "
+              f"{args.baseline}")
+        return
+    baseline = (checks.load_baseline(args.baseline)
+                if not args.no_baseline else None) or {}
+    comparison = checks.compare(report.findings, baseline)
+    if args.format == "json":
+        print(checks.render_json(report, comparison))
+    else:
+        print(checks.render_text(report, comparison,
+                                 verbose=args.show_baselined))
+    if comparison.new or report.errors:
+        raise SystemExit(1)
+
+
 _COMMANDS = {
     "table1": (_cmd_table1, "Table I link technologies"),
     "table2": (_cmd_table2, "Table II switch catalog"),
@@ -354,6 +400,9 @@ _COMMANDS = {
                           "parallel)"),
     "scenario": (_cmd_scenario, "drive a fabric through a time-varying "
                                 "workload scenario"),
+    "check": (_cmd_check, "run the AST invariant linter (snapshot "
+                          "completeness, determinism, protocol "
+                          "conformance)"),
 }
 
 #: Order used by `repro all` (paper order).
@@ -472,6 +521,35 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the cache instead of recomputing "
                                 "them (interrupted-run resume / "
                                 "multi-shard assembly)")
+        if name == "check":
+            p.add_argument("paths", nargs="*",
+                           help="files or directories to check "
+                                "(default: src/repro)")
+            p.add_argument("--format", default="text",
+                           choices=("text", "json"),
+                           help="report format (default: text)")
+            p.add_argument("--baseline",
+                           default="repro-check.baseline.json",
+                           help="baseline file of grandfathered "
+                                "findings (default: "
+                                "repro-check.baseline.json)")
+            p.add_argument("--no-baseline", action="store_true",
+                           help="fail on every finding, baselined "
+                                "or not")
+            p.add_argument("--write-baseline", action="store_true",
+                           help="record all current findings as the "
+                                "new baseline and exit")
+            p.add_argument("--select", action="append", metavar="RULE",
+                           default=None,
+                           help="check only this rule (repeatable)")
+            p.add_argument("--parse-only", action="store_true",
+                           help="only verify every file parses "
+                                "(CI smoke); no rules run")
+            p.add_argument("--list-rules", action="store_true",
+                           help="print the rule catalog and exit")
+            p.add_argument("--show-baselined", action="store_true",
+                           help="also print findings covered by the "
+                                "baseline")
     sub.add_parser("all", help="run every experiment in paper order")
     return parser
 

@@ -136,6 +136,50 @@ ABLATION_PLANE_FAILURE = ExperimentSpec(
            "uniform_flows": 10, "duration_slots": 2})
 
 
+# -- DRAM-load calibration ablation (EXPERIMENTS.md note) ----------------------
+
+def dram_load_task(config: dict, seed: int) -> dict:
+    """Effective miss latency and slowdown at one DRAM demand point.
+
+    Heavier memory traffic raises the effective base LLC-to-data
+    latency, which shrinks the *relative* impact of the fixed photonic
+    latency adder — disaggregation hurts bandwidth-starved codes less
+    than latency-bound ones. Deterministic replay: trace synthesis is
+    seeded from the benchmark spec, not from ``seed``.
+    """
+    from repro.cpu.dram import DRAMChannel
+    from repro.cpu.memory import MemoryModel
+    from repro.cpu.simulator import CPUSimulator
+    from repro.workloads.cpu_suites import parsec_benchmarks
+
+    channel = DRAMChannel()
+    bench = next(b for b in parsec_benchmarks(config["input_size"])
+                 if b.name == config["benchmark"])
+    demand = config["demand_gbyte_s"]
+    base_ns = channel.effective_miss_latency_ns(demand,
+                                                blp=config["blp"])
+    sim = CPUSimulator(memory=MemoryModel(base_latency_ns=base_ns))
+    result = sim.run_inorder(bench.trace_spec(), config["latency_ns"],
+                             cpi_base=bench.cpi_inorder)
+    return {
+        "demand_gbyte_s": demand,
+        "effective_base_ns": base_ns,
+        "queueing_ns": channel.queueing_ns(demand),
+        "slowdown": result.slowdown,
+    }
+
+
+ABLATION_DRAM_LOAD = ExperimentSpec(
+    name="ablation_dram_load",
+    description="ablation: DRAM load vs effective miss latency vs "
+                "slowdown at the 35 ns adder",
+    factory=dram_load_task,
+    metrics=identity_metrics,
+    grid={"demand_gbyte_s": (2.0, 5.0, 12.0, 20.0)},
+    fixed={"benchmark": "canneal", "input_size": "large", "blp": 4.0,
+           "latency_ns": 35.0})
+
+
 # -- structural replays (Fig. 5 and §VI-C) -------------------------------------
 
 def fig5_connectivity_task(config: dict, seed: int) -> dict:
@@ -428,6 +472,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in (ABLATION_STALENESS, INDIRECT_ROUTING,
                  ABLATION_AWGR_PLANES, ABLATION_PLANE_FAILURE,
+                 ABLATION_DRAM_LOAD,
                  FIG5_CONNECTIVITY, POWER_OVERHEAD,
                  FIG6_CPU_SLOWDOWN, FIG8_LATENCY_SENSITIVITY,
                  TABLE4_SWITCH_CONFIGS, FIG12_ELECTRONIC_COMPARISON,

@@ -472,9 +472,12 @@ class AWGRNetworkSimulator:
         config = state["config"]
         mine = self._snapshot_config()
         if config != mine:
+            differing = sorted(k for k in set(config) | set(mine)
+                               if config.get(k) != mine.get(k))
             raise ValueError(
-                f"snapshot config {config} does not match simulator "
-                f"config {mine}")
+                f"snapshot config does not match simulator config "
+                f"(differing fields: {differing}): snapshot {config} "
+                f"vs simulator {mine}")
         self._now = int(state["now"])
         self.allocator.restore(state["allocator"])
         if self.state is not None:

@@ -400,7 +400,7 @@ class ElectronicBackend:
         switch = ELECTRONIC_CATALOG[self.technology]
         self.endpoint_gbps = switch.lane_gbps * self.lanes_per_endpoint
         self.added_latency_ns = electronic_disaggregation_latency_ns(
-            self.technology, endpoints=self.n_nodes)
+            self.technology, endpoints=self.n_nodes)  # repro-check: derived
         self._epoch = 0
 
     def step(self, flows: list[Flow]) -> EpochReport:

@@ -178,7 +178,13 @@ def execute_chunk(scenario_config: dict, backend: str,
     replayed = 0
     if boundary == "carry":
         if snapshot is not None:
-            fabric.restore(snapshot)
+            try:
+                fabric.restore(snapshot)
+            except ValueError as exc:
+                raise ValueError(
+                    f"scenario {scenario.name!r} epochs "
+                    f"[{start}, {stop}): cannot restore the carried "
+                    f"snapshot: {exc}") from exc
     else:
         for epoch in range(start):
             for event in scenario.events_at(epoch):
@@ -511,7 +517,9 @@ class ShardedScenarioRunner:
             except Exception as exc:
                 result.chunks.append(ChunkStatus(
                     index, start, stop, "failed",
-                    error=f"{type(exc).__name__}: {exc}"))
+                    error=f"chunk {index} of scenario "
+                          f"{self.scenario.name!r}: "
+                          f"{type(exc).__name__}: {exc}"))
                 carried = None
                 continue
             if self.cache is not None:
@@ -542,7 +550,10 @@ class ShardedScenarioRunner:
                 try:
                     payload = execute_chunk(*args_for(index))
                 except Exception as exc:
-                    yield index, None, f"{type(exc).__name__}: {exc}"
+                    yield index, None, (
+                        f"chunk {index} of scenario "
+                        f"{self.scenario.name!r}: "
+                        f"{type(exc).__name__}: {exc}")
                     continue
                 yield index, payload, None
             return
@@ -554,6 +565,9 @@ class ShardedScenarioRunner:
                 try:
                     payload = future.result()
                 except Exception as exc:
-                    yield index, None, f"{type(exc).__name__}: {exc}"
+                    yield index, None, (
+                        f"chunk {index} of scenario "
+                        f"{self.scenario.name!r}: "
+                        f"{type(exc).__name__}: {exc}")
                     continue
                 yield index, payload, None

@@ -1,0 +1,15 @@
+"""PY001 fixture: mutable default arguments. Never imported."""
+
+
+def accumulate(x, acc=[]):
+    acc.append(x)
+    return acc
+
+
+def merge(extra, base={}, *, tags=set()):
+    base.update(extra)
+    return base, tags
+
+
+def build(rows=list()):
+    return rows

@@ -1,0 +1,18 @@
+"""PY001 fixture: safe defaults. Never imported."""
+
+from dataclasses import dataclass, field
+
+
+def accumulate(x, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(x)
+    return acc
+
+
+def scale(x, factor=2, label="x", bounds=(0, 1)):
+    return x * factor, label, bounds
+
+
+@dataclass
+class Report:
+    rows: list = field(default_factory=list)

@@ -1,0 +1,52 @@
+"""SIM001 fixture: incomplete snapshot/restore pairs. Never imported."""
+
+
+class MissingAttr:
+    """``_inflight`` is mutable state but never serialized — the exact
+    bug class the in-flight-flows fix repaired by hand."""
+
+    def __init__(self, n):
+        self._slots = [0] * n
+        self._inflight = {}
+
+    def step(self):
+        self._inflight[len(self._inflight)] = 1
+
+    def snapshot(self):
+        return {"slots": list(self._slots)}
+
+    def restore(self, state):
+        self._slots = list(state["slots"])
+
+
+class MissingCounter:
+    """``_now`` starts immutable but is mutated every step."""
+
+    def __init__(self):
+        self._now = 0
+        self._log = []
+
+    def step(self):
+        self._now += 1
+
+    def snapshot(self):
+        return {"log": list(self._log)}
+
+    def restore(self, state):
+        self._log = list(state["log"])
+
+
+class KeyDrift:
+    """restore() reads a key snapshot() never writes, and snapshot()
+    writes one restore() never reads."""
+
+    def __init__(self):
+        self._a = []
+        self._b = []
+
+    def snapshot(self):
+        return {"a": list(self._a), "orphan": list(self._b)}
+
+    def restore(self, state):
+        self._a = list(state["a"])
+        self._b = list(state["missing"])

@@ -1,0 +1,36 @@
+"""SIM001 fixture: complete snapshot/restore pairs. Never imported."""
+
+
+class Complete:
+    """All mutable state serialized; config exempted by markers."""
+
+    def __init__(self, n, table):
+        self._slots = [0] * n
+        self._now = 0
+        self._table = dict(table)  # repro-check: config
+        self._cache = self._build_cache()  # repro-check: derived
+        self.limit = n * 2
+
+    def _build_cache(self):
+        return {}
+
+    def step(self):
+        self._now += 1
+        self._slots[self._now % len(self._slots)] += 1
+
+    def snapshot(self):
+        return {"slots": list(self._slots), "now": self._now}
+
+    def restore(self, state):
+        self._slots = list(state["slots"])
+        self._now = int(state["now"])
+
+
+class NoSnapshotNeeded:
+    """No snapshot/restore pair at all — SIM001 does not apply."""
+
+    def __init__(self):
+        self._scratch = []
+
+    def push(self, x):
+        self._scratch.append(x)

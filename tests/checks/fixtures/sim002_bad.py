@@ -1,0 +1,33 @@
+"""SIM002 fixture: unseeded/global entropy sources. Never imported."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def legacy_global_draws(n):
+    noise = np.random.rand(n)
+    np.random.seed(0)
+    pick = np.random.randint(0, n)
+    return noise, pick
+
+
+def unseeded_generators():
+    a = np.random.default_rng()
+    b = np.random.default_rng(None)
+    c = default_rng()
+    return a, b, c
+
+
+def stdlib_random(items):
+    random.shuffle(items)
+    return random.random()
+
+
+def wall_clock_state():
+    stamp = time.time()
+    started = datetime.now()
+    return stamp, started

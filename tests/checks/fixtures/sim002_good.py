@@ -1,0 +1,24 @@
+"""SIM002 fixture: properly seeded randomness. Never imported."""
+
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_draws(seed, n):
+    rng = np.random.default_rng(seed)
+    other = default_rng(seed + 1)
+    bits = np.random.PCG64(seed)
+    return rng.random(n), other.integers(0, n), bits
+
+
+def derived_seed(scenario, epoch):
+    rng = np.random.default_rng(hash((scenario, epoch)) & (2**63 - 1))
+    return rng.random()
+
+
+def duration_telemetry():
+    # perf_counter feeds duration telemetry only, never sim state.
+    start = time.perf_counter()
+    return time.perf_counter() - start

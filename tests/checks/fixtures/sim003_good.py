@@ -1,0 +1,37 @@
+"""SIM003 fixture: conforming backend and executor. Never imported."""
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SomeProtocol(Protocol):
+    """Protocol definitions are exempt even with a partial surface."""
+
+    def apply_event(self, event): ...
+
+    def step(self, flows): ...
+
+
+class GoodBackend:
+    name = "good"
+
+    def __init__(self):
+        self._epoch = 0
+
+    def step(self, flows, budget=None):
+        self._epoch += 1
+        return flows
+
+    def apply_event(self, event):
+        return False
+
+    def snapshot(self):
+        return {"epoch": self._epoch}
+
+    def restore(self, state):
+        self._epoch = int(state["epoch"])
+
+
+class GoodExecutor:
+    def run(self, tasks):
+        yield from ((task, None) for task in tasks)

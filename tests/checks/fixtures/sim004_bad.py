@@ -1,0 +1,26 @@
+"""SIM004 fixture: JSON-unstable snapshot payloads. Never imported."""
+
+import numpy as np
+
+
+class Unstable:
+    def __init__(self):
+        self._planes = {0, 1}
+        self._occupancy = np.zeros(4)
+        self._pairs = {}
+
+    def snapshot(self):
+        return {
+            "planes": set(self._planes),
+            "shape": (4, 4),
+            "occupancy": np.asarray(self._occupancy),
+            "total": self._occupancy.sum(),
+            7: "non-string key",
+        }
+
+    def restore(self, state):
+        self._planes = state["planes"]
+        self._occupancy = state["occupancy"]
+
+    def to_dict(self):
+        return {int(k): list(v) for k, v in self._pairs.items()}

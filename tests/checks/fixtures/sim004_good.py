@@ -1,0 +1,25 @@
+"""SIM004 fixture: JSON-stable snapshot payloads. Never imported."""
+
+import numpy as np
+
+
+class Stable:
+    def __init__(self):
+        self._planes = {0, 1}
+        self._occupancy = np.zeros(4)
+        self._pairs = {}
+
+    def snapshot(self):
+        return {
+            "planes": sorted(self._planes),
+            "shape": [4, 4],
+            "occupancy": self._occupancy.tolist(),
+            "total": float(self._occupancy.sum()),
+        }
+
+    def restore(self, state):
+        self._planes = set(state["planes"])
+        self._occupancy = np.asarray(state["occupancy"])
+
+    def to_dict(self):
+        return {str(k): list(v) for k, v in self._pairs.items()}

@@ -1,0 +1,108 @@
+"""Per-rule fixture tests: each rule fires on its bad-example file
+and stays quiet on its good-example file."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks import RULES, check_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULE_FIXTURES = [
+    ("SIM001", "sim001"),
+    ("SIM002", "sim002"),
+    ("SIM003", "sim003"),
+    ("SIM004", "sim004"),
+    ("PY001", "py001"),
+]
+
+
+def check_fixture(stem: str, rule: str):
+    report = check_file(FIXTURES / f"{stem}.py", rules=[rule])
+    assert not report.errors, report.errors
+    return report.findings
+
+
+@pytest.mark.parametrize("rule,stem", RULE_FIXTURES)
+class TestFixturePairs:
+    def test_bad_example_triggers(self, rule, stem):
+        findings = check_fixture(f"{stem}_bad", rule)
+        assert findings, f"{rule} stayed quiet on {stem}_bad.py"
+        assert all(f.rule == rule for f in findings)
+
+    def test_good_example_passes(self, rule, stem):
+        assert check_fixture(f"{stem}_good", rule) == []
+
+
+def test_every_registered_rule_has_a_fixture_pair():
+    assert sorted(RULES) == sorted(r for r, _ in RULE_FIXTURES)
+
+
+class TestSIM001Details:
+    def test_flags_each_uncovered_attr_and_drifted_key(self):
+        keys = {f.key for f in check_fixture("sim001_bad", "SIM001")}
+        assert keys == {
+            "MissingAttr._inflight",
+            "MissingCounter._now",  # mutated by step(), init is just 0
+            "KeyDrift.key:missing",  # read by restore, never written
+            "KeyDrift.key:orphan",  # written by snapshot, never read
+        }
+
+    def test_markers_exempt_config_and_derived(self):
+        # sim001_good relies on `# repro-check: config` / `derived`
+        # for _table and _cache; stripping the markers must re-flag.
+        source = (FIXTURES / "sim001_good.py").read_text()
+        stripped = source.replace("  # repro-check: config", "")
+        stripped = stripped.replace("  # repro-check: derived", "")
+        from repro.checks import check_source
+        findings = check_source(stripped, "sim001_good.py",
+                                rules=["SIM001"])
+        assert {f.key for f in findings.findings} == {
+            "Complete._table", "Complete._cache"}
+
+
+class TestSIM002Details:
+    def test_flags_every_entropy_class(self):
+        messages = [f.message
+                    for f in check_fixture("sim002_bad", "SIM002")]
+        for needle in ("np.random.rand", "np.random.seed",
+                       "default_rng", "random.shuffle", "time.time",
+                       "datetime.now"):
+            assert any(needle in m for m in messages), needle
+
+
+class TestSIM003Details:
+    def test_flags_surface_and_pair_violations(self):
+        keys = {f.key for f in check_fixture("sim003_bad", "SIM003")}
+        assert keys == {
+            "HalfBackend.name",
+            "HalfBackend.restore:missing",
+            "HalfBackend.step:signature",
+            "HalfBackend.pair",
+            "LonelySnapshot.pair",
+            "BrokenExecutor.run:signature",
+        }
+
+    def test_protocol_definitions_exempt(self):
+        # sim003_good defines a partial Protocol — zero findings means
+        # the Protocol exemption held.
+        assert check_fixture("sim003_good", "SIM003") == []
+
+
+class TestSIM004Details:
+    def test_flags_each_unstable_construct(self):
+        messages = [f.message
+                    for f in check_fixture("sim004_bad", "SIM004")]
+        assert len(messages) == 6
+        for needle in ("set()", "tuple value", "ndarray",
+                       "numpy scalar", "non-string dict key",
+                       "int() dict key"):
+            assert any(needle in m for m in messages), needle
+
+
+class TestPY001Details:
+    def test_names_every_offending_parameter(self):
+        keys = {f.key for f in check_fixture("py001_bad", "PY001")}
+        assert keys == {"accumulate.acc", "merge.base", "merge.tags",
+                        "build.rows"}

@@ -1,0 +1,81 @@
+"""The checker's own gate over the real source tree.
+
+These tests are the in-suite mirror of the CI step: ``src/repro``
+must stay clean (modulo the committed baseline, which is empty for
+``network/`` and ``scenarios/``), every file must parse, and — the
+acceptance criterion for SIM001 — deleting any single key from
+``AWGRNetworkSimulator.snapshot()``'s return dict must trip the rule.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.checks import check_source, load_baseline, run_checks
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = Path(repro.__file__).resolve().parent
+SIMULATOR = SRC / "network" / "simulator.py"
+
+
+def test_src_repro_parses_and_is_clean():
+    report = run_checks([SRC])
+    assert report.errors == []
+    assert report.findings == []
+
+
+def test_committed_baseline_is_empty_for_network_and_scenarios():
+    baseline = load_baseline(REPO / "repro-check.baseline.json")
+    for fingerprint in baseline:
+        rule, path, _ = fingerprint.split(":", 2)
+        assert "repro/network/" not in path
+        assert "repro/scenarios/" not in path
+
+
+def test_baseline_file_is_committed_and_versioned():
+    payload = json.loads(
+        (REPO / "repro-check.baseline.json").read_text())
+    assert payload["version"] == 1
+    assert isinstance(payload["findings"], list)
+
+
+def _snapshot_dict(tree: ast.Module) -> ast.Dict:
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ClassDef)
+                and node.name == "AWGRNetworkSimulator"):
+            for stmt in node.body:
+                if (isinstance(stmt, ast.FunctionDef)
+                        and stmt.name == "snapshot"):
+                    for sub in ast.walk(stmt):
+                        if (isinstance(sub, ast.Return)
+                                and isinstance(sub.value, ast.Dict)):
+                            return sub.value
+    raise AssertionError("AWGRNetworkSimulator.snapshot() return dict "
+                         "not found")
+
+
+SNAPSHOT_KEYS = [k.value for k in _snapshot_dict(
+    ast.parse(SIMULATOR.read_text())).keys]
+
+
+def test_snapshot_keys_are_the_documented_six():
+    assert sorted(SNAPSHOT_KEYS) == sorted(
+        ["config", "now", "allocator", "state", "router", "buckets"])
+
+
+@pytest.mark.parametrize("key", SNAPSHOT_KEYS)
+def test_deleting_any_snapshot_key_fails_sim001(key):
+    tree = ast.parse(SIMULATOR.read_text())
+    snapshot = _snapshot_dict(tree)
+    index = [k.value for k in snapshot.keys].index(key)
+    del snapshot.keys[index]
+    del snapshot.values[index]
+    report = check_source(ast.unparse(tree), "simulator.py",
+                          rules=["SIM001"])
+    assert report.errors == []
+    assert any(f.key == f"AWGRNetworkSimulator.key:{key}"
+               for f in report.findings), (
+        f"SIM001 stayed quiet after deleting snapshot key {key!r}")

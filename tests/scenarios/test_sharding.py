@@ -442,3 +442,59 @@ class TestValidation:
     def test_workers_positive(self):
         with pytest.raises(ValueError):
             ShardedScenarioRunner(small_scenario(), workers=0)
+
+
+class TestErrorContext:
+    """Satellite: chunk failures name the scenario and chunk/epochs.
+
+    A bare config-mismatch ValueError from ``restore`` used to print
+    only the two config dicts; week-scale sweeps need to know *which*
+    scenario and chunk rejected the carried snapshot.
+    """
+
+    def test_restore_mismatch_names_scenario_and_epochs(self):
+        scenario = small_scenario()
+        foreign = make_backend("awgr", 4, seed=0).snapshot()
+        with pytest.raises(ValueError) as excinfo:
+            execute_chunk(scenario.to_config(), "awgr", {}, 2, 4,
+                          base_seed=0, boundary="carry",
+                          snapshot=foreign)
+        message = str(excinfo.value)
+        assert "scenario 'shardable'" in message
+        assert "epochs [2, 4)" in message
+        assert "cannot restore the carried snapshot" in message
+        # The underlying mismatch diagnostic still names the fields.
+        assert "differing fields" in message
+        assert "n_nodes" in message
+
+    def test_mismatch_message_lists_only_differing_fields(self):
+        mine = make_backend("awgr", 8, seed=0)
+        foreign = make_backend("awgr", 4, seed=0).snapshot()
+        with pytest.raises(ValueError, match=r"differing fields"):
+            mine.restore(foreign)
+        try:
+            mine.restore(foreign)
+        except ValueError as exc:
+            fields = str(exc).split("differing fields: ")[1]
+            fields = fields.split("]")[0]
+            assert "n_nodes" in fields
+            assert "n_planes" not in fields  # equal in both configs
+
+    def test_carry_chunk_error_names_chunk_and_scenario(self):
+        # Failing the only WSS switch raises inside the backend; the
+        # recorded error must locate the chunk, not just repeat the
+        # exception text.
+        result = ShardedScenarioRunner(
+            small_scenario(), "wss", backend_params={"n_switches": 1},
+            chunk_epochs=2, boundary="carry", base_seed=0).run()
+        failed = [c for c in result.chunks if c.state == "failed"]
+        assert failed[0].error.startswith(
+            f"chunk {failed[0].index} of scenario 'shardable': ")
+
+    def test_reset_chunk_error_names_chunk_and_scenario(self):
+        result = ShardedScenarioRunner(
+            small_scenario(), "wss", backend_params={"n_switches": 1},
+            chunk_epochs=2, base_seed=0).run()
+        failed = [c for c in result.chunks if c.state == "failed"]
+        assert failed[0].error.startswith(
+            f"chunk {failed[0].index} of scenario 'shardable': ")
