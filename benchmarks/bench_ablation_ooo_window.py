@@ -4,40 +4,29 @@ The paper's discussion argues "more latency-tolerant CPUs would make
 resource disaggregation more attractive". This ablation quantifies it
 on the calibrated workloads: sweep the OOO hide window and MLP scaling
 and measure the mean slowdown at 35 ns.
+
+Runs on the sweep engine: the grid in
+``repro.experiments.library.ABLATION_OOO_WINDOW`` replaces the old
+hand-rolled double loop.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis.report import render_table
-from repro.cpu.core_ooo import OutOfOrderCore
-from repro.cpu.simulator import CPUSimulator
-from repro.workloads.cpu_suites import parsec_benchmarks
+from repro.experiments import SweepRunner, get_experiment
 
 
 def _sweep():
-    sim = CPUSimulator()
-    benches = parsec_benchmarks("large")
-    stats = {b.full_name: (b, sim.cache_stats(b.trace_spec()))
-             for b in benches}
-    rows = []
-    for hide in (0.0, 24.0, 60.0, 120.0):
-        for mlp_scale in (1.0, 2.0):
-            slowdowns = []
-            for bench, st in stats.values():
-                core = OutOfOrderCore(cpi_exec=bench.cpi_ooo,
-                                      mlp=min(16.0,
-                                              bench.mlp() * mlp_scale),
-                                      hide_cycles=hide,
-                                      hierarchy=sim.hierarchy)
-                slowdowns.append(core.slowdown(st, sim.memory, 35.0))
-            rows.append({
-                "hide_cycles": hide,
-                "mlp_scale": mlp_scale,
-                "mean_slowdown": float(np.mean(slowdowns)),
-                "max_slowdown": float(np.max(slowdowns)),
-            })
-    return rows
+    result = SweepRunner(workers=1).run(
+        get_experiment("ablation_ooo_window")).raise_on_failure()
+    rows = [{
+        "hide_cycles": row["hide_cycles"],
+        "mlp_scale": row["mlp_scale"],
+        "mean_slowdown": row["mean_slowdown"],
+        "max_slowdown": row["max_slowdown"],
+    } for row in result.rows()]
+    return sorted(rows, key=lambda r: (r["hide_cycles"],
+                                       r["mlp_scale"]))
 
 
 def test_ablation_ooo_window(benchmark):

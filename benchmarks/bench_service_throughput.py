@@ -1,0 +1,218 @@
+"""Service throughput — concurrent sessions over one worker pool.
+
+Measures what the `repro.service` gateway sustains as live sessions
+multiply on a fixed 4-worker pool, over real HTTP on an ephemeral
+port:
+
+* **aggregate epochs/s** — total epochs streamed across all sessions
+  divided by the wall time from first submit to last completion. The
+  scaling curve (1 -> 8 -> 32 sessions) shows the pool amortizing
+  scheduling overhead until the workers saturate.
+* **time-to-first-epoch (p50/p99)** — per-session latency from the
+  POST /sessions call to the first SSE ``epoch`` frame landing at the
+  client. At 32 sessions on 4 workers this is dominated by one FIFO
+  scheduling round — the fairness quantum made visible.
+
+Correctness gates (not perf thresholds, which would flake in CI): a
+probe session's streamed epochs must be bit-identical to a direct
+``ScenarioRunner`` run, every submitted session must complete, and
+every session must stream its full horizon.
+
+As a script this writes ``BENCH_service.json``:
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py \
+        --quick --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+BASE_SEED = 17
+WORKERS = 4
+SLICE_EPOCHS = 4
+
+
+def service_scenario(n_epochs: int, n_nodes: int = 8):
+    """Uniform stochastic chatter: cheap epochs, seed-distinct."""
+    from repro.scenarios import Episode, Scenario
+
+    return Scenario(
+        name="service_bench",
+        n_nodes=n_nodes,
+        n_epochs=n_epochs,
+        description="uniform poisson chatter (service throughput "
+                    "probe)",
+        episodes=(Episode(kind="uniform",
+                          flows={"dist": "poisson", "mean": 6},
+                          gbps=25.0),))
+
+
+def _run_level(concurrency: int, n_epochs: int) -> dict:
+    """Drive ``concurrency`` sessions through a fresh gateway."""
+    from repro.analysis.stats import quantiles
+    from repro.service import ServiceClient, ServiceGateway, SessionPool
+
+    scenario = service_scenario(n_epochs)
+    pool = SessionPool(workers=WORKERS, slice_epochs=SLICE_EPOCHS)
+    gateway = ServiceGateway(pool)
+    gateway.start()
+    client_results: list[dict] = [None] * concurrency
+    t_start = time.perf_counter()
+
+    def drive(index: int) -> None:
+        client = ServiceClient(gateway.url, timeout=120.0)
+        t0 = time.perf_counter()
+        session_id = client.submit(scenario.to_config(),
+                                   base_seed=BASE_SEED + index)["id"]
+        ttfe = None
+        epochs = []
+        for event, _, data in client.stream(session_id):
+            if event == "epoch":
+                if ttfe is None:
+                    ttfe = time.perf_counter() - t0
+                epochs.append(data)
+        client_results[index] = {
+            "session_id": session_id,
+            "ttfe_s": ttfe,
+            "epochs": epochs,
+            "final_state": client.session(session_id)["state"],
+        }
+
+    threads = [threading.Thread(target=drive, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600.0)
+    wall_s = time.perf_counter() - t_start
+    metrics = ServiceClient(gateway.url).metrics()
+    gateway.stop()
+
+    incomplete = [r for r in client_results
+                  if r is None or r["final_state"] != "completed"
+                  or len(r["epochs"]) != n_epochs]
+    ttfes = [r["ttfe_s"] for r in client_results
+             if r is not None and r["ttfe_s"] is not None]
+    qs = (quantiles(ttfes, qs=(0.5, 0.99)) if ttfes
+          else {0.5: 0.0, 0.99: 0.0})
+    total_epochs = sum(len(r["epochs"]) for r in client_results
+                       if r is not None)
+    return {
+        "concurrency": concurrency,
+        "n_epochs_per_session": n_epochs,
+        "wall_s": wall_s,
+        "total_epochs": total_epochs,
+        "epochs_per_s": total_epochs / wall_s if wall_s > 0 else 0.0,
+        "ttfe_p50_s": qs[0.5],
+        "ttfe_p99_s": qs[0.99],
+        "incomplete_sessions": len(incomplete),
+        "pool_epochs_total": metrics["epochs_total"],
+        "pool_recoveries": metrics["recoveries_total"],
+        "probe_epochs": (client_results[0]["epochs"]
+                         if client_results[0] is not None else []),
+    }
+
+
+def run_suite(quick: bool = False) -> dict:
+    """The concurrency scaling curve plus the correctness probe."""
+    from repro.scenarios import ScenarioRunner, make_backend
+
+    n_epochs = 12 if quick else 48
+    levels = (1, 8, 32)
+    rows = []
+    for concurrency in levels:
+        rows.append(_run_level(concurrency, n_epochs))
+
+    # Correctness probe: level-1's single session against a direct
+    # monolithic run of the same scenario and seed.
+    scenario = service_scenario(n_epochs)
+    reference = ScenarioRunner(
+        scenario,
+        make_backend("awgr", scenario.n_nodes, seed=BASE_SEED),
+    ).run(seed=BASE_SEED)
+    expected = [e.to_dict() for e in reference.epochs]
+    probe_identical = (
+        json.dumps(rows[0]["probe_epochs"], sort_keys=True)
+        == json.dumps(expected, sort_keys=True))
+    for row in rows:
+        row.pop("probe_epochs")
+
+    return {
+        "workers": WORKERS,
+        "slice_epochs": SLICE_EPOCHS,
+        "n_epochs_per_session": n_epochs,
+        "levels": rows,
+        "probe_stream_bit_identical": probe_identical,
+        "scaling_1_to_32":
+            rows[-1]["epochs_per_s"] / max(rows[0]["epochs_per_s"],
+                                           1e-9),
+    }
+
+
+def check(record: dict) -> list[str]:
+    """Gate conditions; returns failure messages (empty = pass)."""
+    failures = []
+    if not record["probe_stream_bit_identical"]:
+        failures.append(
+            "streamed epochs drifted from the monolithic "
+            "ScenarioRunner run — the service perturbs the "
+            "simulation")
+    for row in record["levels"]:
+        if row["incomplete_sessions"]:
+            failures.append(
+                f"{row['incomplete_sessions']} of "
+                f"{row['concurrency']} sessions did not stream to "
+                "completion")
+        if row["ttfe_p99_s"] <= 0.0:
+            failures.append(
+                f"level {row['concurrency']}: no time-to-first-epoch "
+                "samples recorded")
+    return failures
+
+
+def test_service_throughput():
+    """Quick-mode run: every level completes, probe bit-identical.
+
+    Timed manually (wall clock per level) rather than through the
+    pytest-benchmark fixture because the concurrency sweep *is* the
+    benchmark.
+    """
+    from conftest import emit
+
+    from repro.analysis.report import render_table
+
+    record = run_suite(quick=True)
+    emit("Service throughput — concurrent-session scaling",
+         render_table([{k: v for k, v in row.items()}
+                       for row in record["levels"]]))
+    assert not check(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized horizon (12 epochs/session)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here")
+    args = parser.parse_args(argv)
+    record = run_suite(quick=args.quick)
+    print(json.dumps(record, indent=1))
+    failures = check(record)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    if args.out:
+        Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

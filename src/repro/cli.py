@@ -333,6 +333,67 @@ def _cmd_scenario(args: argparse.Namespace) -> None:
     print(render_kv(report.as_dict(), title="Aggregate"))
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.experiments import ResultCache
+    from repro.service import ServiceGateway, SessionPool, SessionStore
+    store = None
+    if args.store_dir:
+        store = SessionStore(ResultCache(args.store_dir))
+    if args.workers < 1:
+        raise SystemExit("serve: --workers must be >= 1")
+    if args.slice_epochs < 1:
+        raise SystemExit("serve: --slice-epochs must be >= 1")
+    pool = SessionPool(workers=args.workers,
+                       slice_epochs=args.slice_epochs, store=store)
+    gateway = ServiceGateway(pool, host=args.host, port=args.port,
+                             verbose=args.verbose)
+    print(f"repro service listening on {gateway.url} "
+          f"({args.workers} workers, {args.slice_epochs}-epoch "
+          "slices)", flush=True)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        pass
+
+
+def _cmd_submit(args: argparse.Namespace) -> None:
+    from urllib.error import URLError
+
+    from repro.analysis.report import render_kv, render_table
+    from repro.service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        summary = client.submit(args.scenario, backend=args.backend,
+                                base_seed=args.seed,
+                                n_epochs=args.epochs)
+    except URLError as exc:
+        raise SystemExit(f"submit: cannot reach {args.url} "
+                         f"({exc.reason}) — is `repro serve` "
+                         "running?") from None
+    except ServiceError as exc:
+        raise SystemExit(f"submit: {exc}") from None
+    session_id = summary["id"]
+    print(f"submitted session {session_id} "
+          f"({summary['scenario']} on {summary['backend']}, "
+          f"{summary['n_epochs']} epochs)")
+    if args.detach:
+        return
+    rows = []
+    for event, epoch, data in client.stream(session_id):
+        if event == "epoch":
+            rows.append({"epoch": epoch,
+                         "carried_gbps": data["carried_gbps"],
+                         "blocked": data["blocked"],
+                         "indirect": data["indirect"]})
+        else:
+            print(f"session parked: {data['state']}")
+    if rows:
+        print(render_table(rows, title=f"Session {session_id} epochs"))
+    detail = client.session(session_id)
+    print()
+    print(render_kv(detail["aggregates"], title="Aggregate"))
+
+
 def _cmd_check(args: argparse.Namespace) -> None:
     from pathlib import Path
 
@@ -403,6 +464,11 @@ _COMMANDS = {
     "check": (_cmd_check, "run the AST invariant linter (snapshot "
                           "completeness, determinism, protocol "
                           "conformance)"),
+    "serve": (_cmd_serve, "run the fabric-sim service gateway "
+                          "(sessions, SSE epoch streams, "
+                          "suspend/resume/fork)"),
+    "submit": (_cmd_submit, "submit a scenario to a running service "
+                            "and stream its epochs"),
 }
 
 #: Order used by `repro all` (paper order).
@@ -521,6 +587,39 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the cache instead of recomputing "
                                 "them (interrupted-run resume / "
                                 "multi-shard assembly)")
+        if name == "serve":
+            p.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+            p.add_argument("--port", type=int, default=8177,
+                           help="bind port; 0 picks an ephemeral one "
+                                "(default: 8177)")
+            p.add_argument("--workers", type=int, default=4,
+                           help="session worker threads (default: 4)")
+            p.add_argument("--slice-epochs", type=int, default=4,
+                           help="epochs per scheduling slice "
+                                "(default: 4)")
+            p.add_argument("--store-dir", default=".repro-sessions",
+                           help="suspended-session store directory; "
+                                "empty string disables durability "
+                                "(default: .repro-sessions)")
+            p.add_argument("--verbose", action="store_true",
+                           help="log every HTTP request")
+        if name == "submit":
+            p.add_argument("scenario", nargs="?", default="demo",
+                           help="registered scenario name to submit "
+                                "(default: demo)")
+            p.add_argument("--url", default="http://127.0.0.1:8177",
+                           help="gateway base URL (default: "
+                                "http://127.0.0.1:8177)")
+            p.add_argument("--backend", default="awgr",
+                           choices=("awgr", "wss", "electronic"),
+                           help="fabric backend (default: awgr)")
+            p.add_argument("--seed", type=int, default=0,
+                           help="base RNG seed (default: 0)")
+            p.add_argument("--epochs", type=int, default=None,
+                           help="override the scenario's epoch count")
+            p.add_argument("--detach", action="store_true",
+                           help="submit and exit without streaming")
         if name == "check":
             p.add_argument("paths", nargs="*",
                            help="files or directories to check "

@@ -180,6 +180,48 @@ ABLATION_DRAM_LOAD = ExperimentSpec(
            "latency_ns": 35.0})
 
 
+def ooo_window_task(config: dict, seed: int) -> dict:
+    """Mean/max OOO slowdown at one (hide window, MLP scale) point.
+
+    §VII's latency-tolerance argument quantified: every Parsec trace
+    is replayed through an OutOfOrderCore with the swept hide window
+    and MLP scaling. Trace synthesis is seeded from the benchmark
+    spec, so replays are deterministic regardless of ``seed``.
+    """
+    from repro.cpu.core_ooo import OutOfOrderCore
+    from repro.cpu.simulator import CPUSimulator
+    from repro.workloads.cpu_suites import parsec_benchmarks
+
+    sim = CPUSimulator()
+    slowdowns = []
+    for bench in parsec_benchmarks(config["input_size"]):
+        stats = sim.cache_stats(bench.trace_spec())
+        core = OutOfOrderCore(
+            cpi_exec=bench.cpi_ooo,
+            mlp=min(16.0, bench.mlp() * config["mlp_scale"]),
+            hide_cycles=config["hide_cycles"],
+            hierarchy=sim.hierarchy)
+        slowdowns.append(core.slowdown(stats, sim.memory,
+                                       config["latency_ns"]))
+    return {
+        "hide_cycles": config["hide_cycles"],
+        "mlp_scale": config["mlp_scale"],
+        "mean_slowdown": float(np.mean(slowdowns)),
+        "max_slowdown": float(np.max(slowdowns)),
+    }
+
+
+ABLATION_OOO_WINDOW = ExperimentSpec(
+    name="ablation_ooo_window",
+    description="ablation: OOO hide window x MLP scaling vs mean "
+                "slowdown at the 35 ns adder (§VII)",
+    factory=ooo_window_task,
+    metrics=identity_metrics,
+    grid={"hide_cycles": (0.0, 24.0, 60.0, 120.0),
+          "mlp_scale": (1.0, 2.0)},
+    fixed={"input_size": "large", "latency_ns": 35.0})
+
+
 # -- structural replays (Fig. 5 and §VI-C) -------------------------------------
 
 def fig5_connectivity_task(config: dict, seed: int) -> dict:
@@ -382,6 +424,64 @@ CASE_A_VS_CASE_B = ExperimentSpec(
     fixed={"n_nodes": 16, "n_slots": 10, "traffic_seed": 21})
 
 
+def reconfigurable_shift_task(config: dict, seed: int) -> dict:
+    """Reconfigurable fabric vs shifting demand (§VI-A's case B).
+
+    One task runs the whole stateful epoch loop: each epoch draws a
+    fresh random hotspot pattern, measures how much of it the *stale*
+    switch configuration still serves, reconfigures, and measures
+    again. The epoch rows ride along as a list metric; the scheduler
+    cost counters aggregate over the run. Demand is seeded by
+    ``rng_seed`` in config (pinned — replays bit-identically from the
+    cache), not by the sweep ``seed``.
+    """
+    from repro.network.reconfig import ReconfigurableFabric
+
+    rng = np.random.default_rng(config["rng_seed"])
+    n = config["n_nodes"]
+    fabric = ReconfigurableFabric(
+        n_switches=config["n_switches"], radix=n,
+        wavelengths_per_port=config["wavelengths_per_port"],
+        reconfig_time_s=config["reconfig_time_s"],
+        scheduler_latency_s=config["scheduler_latency_s"])
+    rows = []
+    demand = None
+    for epoch in range(config["n_epochs"]):
+        new_demand = rng.random((n, n)) * 10.0
+        hot = rng.integers(n)
+        new_demand[:, hot] += 40.0
+        np.fill_diagonal(new_demand, 0.0)
+        served_before = (fabric.served_fraction(new_demand)
+                         if demand is not None else 0.0)
+        fabric.reconfigure(new_demand)
+        rows.append({
+            "epoch": epoch,
+            "served_before_reconfig": float(served_before),
+            "served_after_reconfig":
+                float(fabric.served_fraction(new_demand)),
+        })
+        demand = new_demand
+    return {
+        "epoch_rows": rows,
+        "min_served_after": min(r["served_after_reconfig"]
+                                for r in rows),
+        "reconfigurations": fabric.reconfigurations,
+        "ports_disturbed": fabric.ports_disturbed,
+        "time_reconfiguring_s": fabric.time_reconfiguring_s,
+    }
+
+
+ABLATION_RECONFIGURABLE = ExperimentSpec(
+    name="ablation_reconfigurable",
+    description="ablation: reconfigurable fabric (case B) vs "
+                "shifting per-epoch demand",
+    factory=reconfigurable_shift_task,
+    metrics=identity_metrics,
+    fixed={"n_nodes": 32, "n_switches": 4, "wavelengths_per_port": 16,
+           "reconfig_time_s": 1e-3, "scheduler_latency_s": 1e-3,
+           "n_epochs": 6, "rng_seed": 5})
+
+
 # -- Fig. 12 photonic vs electronic (§VI-D) ----------------------------------
 
 def fig12_comparison_task(config: dict, seed: int) -> dict:
@@ -472,7 +572,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in (ABLATION_STALENESS, INDIRECT_ROUTING,
                  ABLATION_AWGR_PLANES, ABLATION_PLANE_FAILURE,
-                 ABLATION_DRAM_LOAD,
+                 ABLATION_DRAM_LOAD, ABLATION_OOO_WINDOW,
+                 ABLATION_RECONFIGURABLE,
                  FIG5_CONNECTIVITY, POWER_OVERHEAD,
                  FIG6_CPU_SLOWDOWN, FIG8_LATENCY_SENSITIVITY,
                  TABLE4_SWITCH_CONFIGS, FIG12_ELECTRONIC_COMPARISON,

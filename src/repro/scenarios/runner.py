@@ -140,21 +140,54 @@ class ScenarioRunner:
 
     def run(self, seed: int = 0) -> ScenarioReport:
         """Play the scenario end to end and aggregate the epochs."""
+        rng = (as_generator(seed) if self.seeding == "sequential"
+               else None)
+        return self.step_epochs(0, self.scenario.n_epochs, seed=seed,
+                                rng=rng)
+
+    def step_epochs(self, start: int, stop: int, seed: int = 0,
+                    report: ScenarioReport | None = None,
+                    rng=None) -> ScenarioReport:
+        """Advance epochs ``[start, stop)`` against the live backend.
+
+        The reentrant core of :meth:`run`: because the backend carries
+        all fabric state and per-epoch seeding derives each epoch's
+        traffic independently, N successive calls advancing one epoch
+        each are bit-identical to one call advancing N — this is what
+        lets the service pool time-slice a live session across
+        scheduling rounds (and suspend it between any two epochs)
+        without perturbing the stream. Events scripted for an epoch
+        are applied before that epoch's traffic, exactly as in a
+        monolithic run.
+
+        ``report`` accumulates across calls (a fresh one is created
+        when omitted). ``rng`` is required for — and only used by —
+        ``"sequential"`` seeding, where the caller owns the threaded
+        generator; thread the *same* generator through successive
+        calls to match a monolithic sequential run.
+        """
         if self.seeding not in SEEDING_MODES:
             raise ValueError(f"unknown seeding {self.seeding!r} "
                              f"(known: {SEEDING_MODES})")
-        sequential_rng = (as_generator(seed)
-                          if self.seeding == "sequential" else None)
-        report = ScenarioReport(scenario=self.scenario.name,
-                                backend=self.backend.name)
-        for epoch in range(self.scenario.n_epochs):
+        if not 0 <= start <= stop <= self.scenario.n_epochs:
+            raise ValueError(
+                f"epoch range [{start}, {stop}) outside "
+                f"[0, {self.scenario.n_epochs}]")
+        if self.seeding == "sequential" and rng is None:
+            raise ValueError(
+                "sequential seeding threads one generator through "
+                "every epoch; pass the caller-owned rng")
+        if report is None:
+            report = ScenarioReport(scenario=self.scenario.name,
+                                    backend=self.backend.name)
+        for epoch in range(start, stop):
             for event in self.scenario.events_at(epoch):
                 if self.backend.apply_event(event):
                     report.events_applied += 1
                 else:
                     report.events_ignored += 1
-            if sequential_rng is not None:
-                batch = self.scenario.batch(epoch, sequential_rng)
+            if self.seeding == "sequential":
+                batch = self.scenario.batch(epoch, rng)
             else:
                 batch = self.scenario.batch_at(epoch, base_seed=seed)
             report.epochs.append(self.backend.step(batch))

@@ -1,0 +1,186 @@
+"""Stdlib client for the simulation service.
+
+:class:`ServiceClient` wraps the gateway's JSON API in plain
+``urllib`` (no third-party HTTP stack — the same constraint the
+gateway honors), and :meth:`ServiceClient.stream` consumes the SSE
+endpoint incrementally: ``urllib`` de-chunks the transfer encoding,
+so the generator just parses ``event:``/``id:``/``data:`` frames off
+the line iterator as each epoch lands. Tests, the examples, the
+throughput benchmark, and the ``repro submit`` CLI verb all go
+through this class, so the wire format has exactly one client-side
+decoding.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro.service.protocol import STREAM_EVENTS
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the gateway, with its decoded payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = payload.get("error", f"HTTP {status}")
+        super().__init__(f"{message} (HTTP {status})")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talks to one gateway at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        data = (json.dumps(body).encode()
+                if body is not None else None)
+        request = Request(self.base_url + path, data=data,
+                          method=method)
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except (json.JSONDecodeError, OSError):
+                payload = {}
+            raise ServiceError(exc.code, payload) from exc
+
+    # -- fleet -----------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def shutdown(self) -> dict:
+        """Ask the gateway to stop (it answers before it exits)."""
+        return self._request("POST", "/shutdown")
+
+    # -- sessions --------------------------------------------------------------
+
+    def submit(self, scenario, backend: str = "awgr",
+               base_seed: int = 0, n_epochs: int | None = None,
+               backend_params: dict | None = None,
+               checkpoint_epochs: int | None = None) -> dict:
+        """Create a session; returns its summary (with ``id``)."""
+        body = {"scenario": scenario, "backend": backend,
+                "base_seed": base_seed}
+        if n_epochs is not None:
+            body["n_epochs"] = n_epochs
+        if backend_params:
+            body["backend_params"] = backend_params
+        if checkpoint_epochs is not None:
+            body["checkpoint_epochs"] = checkpoint_epochs
+        return self._request("POST", "/sessions", body)
+
+    def sessions(self) -> list:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def session(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def epochs(self, session_id: str, since: int = 0) -> dict:
+        return self._request(
+            "GET", f"/sessions/{session_id}/epochs?since={since}")
+
+    def suspend(self, session_id: str) -> dict:
+        return self._request("POST",
+                             f"/sessions/{session_id}/suspend")
+
+    def resume(self, session_id: str) -> dict:
+        return self._request("POST",
+                             f"/sessions/{session_id}/resume")
+
+    def fork(self, session_id: str, at_epoch: int,
+             events: list | None = None,
+             n_epochs: int | None = None) -> dict:
+        body = {"at_epoch": at_epoch}
+        if events:
+            body["events"] = events
+        if n_epochs is not None:
+            body["n_epochs"] = n_epochs
+        return self._request("POST",
+                             f"/sessions/{session_id}/fork", body)
+
+    def delete(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    # -- streaming -------------------------------------------------------------
+
+    def stream(self, session_id: str, since: int = 0,
+               max_events: int | None = None):
+        """Yield ``(event, id, data)`` SSE tuples as epochs compute.
+
+        ``event`` is ``"epoch"`` (data = one
+        ``EpochReport.to_dict()`` payload, id = its epoch number) or
+        ``"end"`` (data = final state; the stream closes after it).
+        ``max_events`` stops early — the generator also stops cleanly
+        if the caller breaks out of the loop.
+        """
+        url = (f"{self.base_url}/sessions/{session_id}/stream"
+               f"?since={since}")
+        yielded = 0
+        with urlopen(Request(url), timeout=self.timeout) as response:
+            event, event_id, data_lines = None, None, []
+            for raw in response:
+                line = raw.decode().rstrip("\n").rstrip("\r")
+                if line.startswith("event: "):
+                    event = line[len("event: "):]
+                elif line.startswith("id: "):
+                    event_id = int(line[len("id: "):])
+                elif line.startswith("data: "):
+                    data_lines.append(line[len("data: "):])
+                elif not line and event is not None:
+                    data = (json.loads("\n".join(data_lines))
+                            if data_lines else None)
+                    if event not in STREAM_EVENTS:
+                        raise ServiceError(
+                            502, {"error": f"unknown SSE event "
+                                           f"{event!r}"})
+                    yield event, event_id, data
+                    yielded += 1
+                    if event == "end":
+                        return
+                    if (max_events is not None
+                            and yielded >= max_events):
+                        return
+                    event, event_id, data_lines = None, None, []
+
+    def stream_epochs(self, session_id: str, since: int = 0,
+                      max_epochs: int | None = None) -> list:
+        """Collect streamed epoch payloads into a list (ends at the
+        ``end`` frame or after ``max_epochs`` epochs)."""
+        epochs = []
+        for event, _, data in self.stream(session_id, since=since):
+            if event == "epoch":
+                epochs.append(data)
+                if (max_epochs is not None
+                        and len(epochs) >= max_epochs):
+                    break
+        return epochs
+
+    def wait(self, session_id: str, states=("completed", "failed",
+                                            "suspended")) -> dict:
+        """Stream until the session parks, then return its detail."""
+        for event, _, _ in self.stream(session_id):
+            if event == "end":
+                break
+        detail = self.session(session_id)
+        if detail["state"] not in states:
+            raise ServiceError(
+                409, {"error": f"session {session_id} parked in "
+                               f"{detail['state']!r}"})
+        return detail

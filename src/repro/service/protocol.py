@@ -1,0 +1,180 @@
+"""Wire format of the simulation service.
+
+Everything that crosses the HTTP boundary is shaped here, so the
+gateway stays a thin router and the payload shapes are testable
+without a socket. All payloads are JSON-pure (SIM004): plain dicts
+with string keys, lists, strings, numbers, booleans, None.
+
+Request bodies
+--------------
+``POST /sessions`` accepts either a registered scenario by name or an
+inline config::
+
+    {"scenario": "demo", "backend": "awgr", "base_seed": 3,
+     "n_epochs": 48, "backend_params": {...},
+     "checkpoint_epochs": 8}
+    {"scenario": {<Scenario.to_config() payload>}, ...}
+
+``POST /sessions/{id}/fork`` scripts the what-if divergence::
+
+    {"at_epoch": 12, "n_epochs": 64,
+     "events": [{"epoch": 14, "action": "fail_plane", "value": 0}]}
+
+Streaming
+---------
+``GET /sessions/{id}/stream`` is Server-Sent Events: one ``epoch``
+event per computed epoch (``id:`` = epoch number, ``data:`` = the
+``EpochReport.to_dict()`` JSON), then a single ``end`` event whose
+data carries the session's final state when it completes, suspends,
+or fails.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.scenarios.scenario import EVENT_ACTIONS, ScenarioEvent
+from repro.service.sessions import Session
+
+#: SSE event names the stream endpoint emits.
+STREAM_EVENTS = ("epoch", "end")
+
+
+class ProtocolError(ValueError):
+    """A request body the service cannot act on (HTTP 400)."""
+
+
+def session_summary(session: Session) -> dict:
+    """The list-view row for one session."""
+    with session.updated:
+        return {
+            "id": session.session_id,
+            "state": session.state,
+            "cursor": session.cursor,
+            "n_epochs": session.n_epochs,
+            "scenario": session.scenario.name,
+            "backend": session.backend_name,
+            "base_seed": session.base_seed,
+            "parent": session.parent,
+            "forked_at": session.forked_at,
+            "slices": session.slices,
+            "recoveries": session.recoveries,
+            "events_applied": session.events_applied,
+            "events_ignored": session.events_ignored,
+            "error": session.error,
+        }
+
+
+def session_detail(session: Session) -> dict:
+    """Summary plus the aggregate metrics over computed epochs."""
+    payload = session_summary(session)
+    payload["aggregates"] = session.report().as_dict()
+    payload["checkpoint_epochs"] = session.checkpoint_epochs
+    payload["checkpointed_at"] = sorted(session.checkpoints)
+    return payload
+
+
+def _require(body: dict, key: str):
+    if key not in body:
+        raise ProtocolError(f"missing required field {key!r}")
+    return body[key]
+
+
+def _optional_int(body: dict, key: str, default=None):
+    value = body.get(key, default)
+    if value is default:
+        return default
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {key!r} must be an integer")
+    return value
+
+
+def parse_submit(body: dict) -> dict:
+    """``POST /sessions`` body -> :meth:`SessionPool.submit` kwargs."""
+    if not isinstance(body, dict):
+        raise ProtocolError("submit body must be a JSON object")
+    scenario = _require(body, "scenario")
+    if not isinstance(scenario, (str, dict)):
+        raise ProtocolError(
+            "scenario must be a registered name or an inline config "
+            "object")
+    backend = body.get("backend", "awgr")
+    if not isinstance(backend, str):
+        raise ProtocolError("backend must be a string")
+    params = body.get("backend_params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("backend_params must be an object")
+    kwargs = {
+        "scenario": scenario,
+        "backend": backend,
+        "backend_params": params,
+        "base_seed": _optional_int(body, "base_seed", 0),
+        "checkpoint_epochs": _optional_int(body, "checkpoint_epochs",
+                                           16),
+    }
+    n_epochs = _optional_int(body, "n_epochs")
+    if n_epochs is not None:
+        kwargs["n_epochs"] = n_epochs
+    unknown = set(body) - {"scenario", "backend", "backend_params",
+                           "base_seed", "checkpoint_epochs",
+                           "n_epochs"}
+    if unknown:
+        raise ProtocolError(
+            f"unknown submit fields: {sorted(unknown)}")
+    return kwargs
+
+
+def parse_events(payload) -> tuple:
+    """Event dicts -> :class:`ScenarioEvent` tuple (validated)."""
+    if not isinstance(payload, (list, tuple)):
+        raise ProtocolError("events must be a list")
+    events = []
+    for entry in payload:
+        if not isinstance(entry, dict):
+            raise ProtocolError("each event must be an object")
+        epoch = entry.get("epoch")
+        action = entry.get("action")
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ProtocolError("event epoch must be an integer")
+        if action not in EVENT_ACTIONS:
+            raise ProtocolError(
+                f"unknown event action {action!r} "
+                f"(known: {EVENT_ACTIONS})")
+        events.append(ScenarioEvent(epoch=epoch, action=action,
+                                    value=entry.get("value")))
+    return tuple(events)
+
+
+def parse_fork(body: dict) -> dict:
+    """``POST /sessions/{id}/fork`` body -> ``SessionPool.fork``
+    kwargs (minus the parent id)."""
+    if not isinstance(body, dict):
+        raise ProtocolError("fork body must be a JSON object")
+    at_epoch = _require(body, "at_epoch")
+    if isinstance(at_epoch, bool) or not isinstance(at_epoch, int):
+        raise ProtocolError("at_epoch must be an integer")
+    kwargs = {
+        "at_epoch": at_epoch,
+        "events": parse_events(body.get("events", [])),
+        "n_epochs": _optional_int(body, "n_epochs"),
+    }
+    unknown = set(body) - {"at_epoch", "events", "n_epochs"}
+    if unknown:
+        raise ProtocolError(f"unknown fork fields: {sorted(unknown)}")
+    return kwargs
+
+
+def encode_json(payload: dict) -> bytes:
+    """Canonical response encoding (sorted keys, compact)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode()
+
+
+def sse_frame(event: str, data: dict, event_id: int | None = None
+              ) -> bytes:
+    """One Server-Sent-Events frame (``event``/``id``/``data`` lines
+    plus the blank-line terminator)."""
+    lines = [f"event: {event}"]
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append("data: " + json.dumps(data, sort_keys=True))
+    return ("\n".join(lines) + "\n\n").encode()

@@ -162,3 +162,79 @@ class TestRunReplicated:
             run_replicated(scripted_scenario(),
                            lambda seed: make_backend("awgr", 8),
                            repeats=0)
+
+
+class TestStepEpochs:
+    """The reentrant core: incremental slices == one monolithic run."""
+
+    def event_scenario(self):
+        return scripted_scenario(
+            events=[ScenarioEvent(epoch=2, action="fail_plane",
+                                  value=0),
+                    ScenarioEvent(epoch=4, action="repair_plane",
+                                  value=0)],
+            n_epochs=8, flows={"dist": "poisson", "mean": 6})
+
+    @pytest.mark.parametrize("backend", ["awgr", "wss", "electronic"])
+    def test_n_single_steps_equal_one_run(self, backend):
+        scenario = self.event_scenario()
+        whole = ScenarioRunner(
+            scenario, make_backend(backend, 8, seed=4)).run(seed=4)
+        runner = ScenarioRunner(scenario,
+                                make_backend(backend, 8, seed=4))
+        report = None
+        for epoch in range(scenario.n_epochs):
+            report = runner.step_epochs(epoch, epoch + 1, seed=4,
+                                        report=report)
+        assert report.rows() == whole.rows()
+        assert report.as_dict() == whole.as_dict()
+
+    @pytest.mark.parametrize("backend", ["awgr", "wss", "electronic"])
+    def test_uneven_slices_equal_one_run(self, backend):
+        scenario = self.event_scenario()
+        whole = ScenarioRunner(
+            scenario, make_backend(backend, 8, seed=9)).run(seed=9)
+        runner = ScenarioRunner(scenario,
+                                make_backend(backend, 8, seed=9))
+        report = None
+        cursor = 0
+        for width in (1, 3, 2, 1, 1):
+            report = runner.step_epochs(cursor, cursor + width,
+                                        seed=9, report=report)
+            cursor += width
+        assert cursor == scenario.n_epochs
+        assert report.rows() == whole.rows()
+
+    def test_sequential_seeding_threads_the_rng(self):
+        from repro.network.traffic import as_generator
+        scenario = scripted_scenario(
+            flows={"dist": "poisson", "mean": 6})
+        whole = ScenarioRunner(
+            scenario, make_backend("awgr", 8, seed=2),
+            seeding="sequential").run(seed=2)
+        runner = ScenarioRunner(scenario,
+                                make_backend("awgr", 8, seed=2),
+                                seeding="sequential")
+        rng = as_generator(2)
+        report = None
+        for epoch in range(scenario.n_epochs):
+            report = runner.step_epochs(epoch, epoch + 1, seed=2,
+                                        report=report, rng=rng)
+        assert report.rows() == whole.rows()
+
+    def test_sequential_without_rng_rejected(self):
+        runner = ScenarioRunner(scripted_scenario(),
+                                make_backend("awgr", 8),
+                                seeding="sequential")
+        with pytest.raises(ValueError, match="rng"):
+            runner.step_epochs(0, 1)
+
+    def test_range_validation(self):
+        runner = ScenarioRunner(scripted_scenario(),
+                                make_backend("awgr", 8))
+        with pytest.raises(ValueError, match="epoch range"):
+            runner.step_epochs(4, 2)
+        with pytest.raises(ValueError, match="epoch range"):
+            runner.step_epochs(0, 7)
+        with pytest.raises(ValueError, match="epoch range"):
+            runner.step_epochs(-1, 2)
