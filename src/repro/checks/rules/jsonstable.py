@@ -9,6 +9,13 @@ every dict built inside a ``snapshot()`` or ``to_dict()`` method and
 flags those constructs at the point of construction, where the fix
 (``.tolist()``, ``int(...)``, ``str(...)``, ``sorted(...)``) is one
 call away.
+
+Array-backed batch classes (``FlowBatch`` and friends) keep their hot
+state as ndarray fields annotated in the class body; serializing such
+a field *bare* (``"src": self.src``) is just as unstable as calling
+``np.asarray`` inline, so the rule also flags bare ``self.<attr>``
+payload values whose class-level annotation mentions ``ndarray``.
+``self.<attr>.tolist()`` is the JSON-stable spelling and passes.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
-from repro.checks.classinfo import dotted_name
+from repro.checks.classinfo import dotted_name, self_name
 from repro.checks.context import ModuleContext
 from repro.checks.findings import Finding
 from repro.checks.rules import Rule, register
@@ -37,6 +44,57 @@ _NUMPY_SCALARS = frozenset({
 #: ndarray reductions that yield numpy scalars when called as methods.
 _SCALAR_METHODS = frozenset({"sum", "mean", "max", "min", "prod",
                              "std", "var"})
+
+
+def _mentions_ndarray(annotation: ast.expr) -> bool:
+    """True if a type annotation names an ndarray anywhere — handles
+    ``np.ndarray``, ``np.ndarray | None``, and ``NDArray[...]``."""
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in ("ndarray",
+                                                      "NDArray"):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in ("ndarray",
+                                                             "NDArray"):
+            return True
+    return False
+
+
+def _ndarray_attrs(cls: ast.ClassDef) -> frozenset[str]:
+    """Attribute names the class annotates as ndarray-backed, from
+    class-body (dataclass field) annotations and annotated
+    ``self.<attr>`` assignments inside methods."""
+    attrs: set[str] = set()
+    for stmt in cls.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and _mentions_ndarray(stmt.annotation)):
+            attrs.add(stmt.target.id)
+    for func in cls.body:
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        selfname = self_name(func)
+        if selfname is None:
+            continue
+        for node in ast.walk(func):
+            if (isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Attribute)
+                    and isinstance(node.target.value, ast.Name)
+                    and node.target.value.id == selfname
+                    and _mentions_ndarray(node.annotation)):
+                attrs.add(node.target.attr)
+    return frozenset(attrs)
+
+
+def _bare_ndarray_field(node: ast.expr, selfname: str | None,
+                        ndarray_attrs: frozenset[str]) -> str | None:
+    if (selfname is not None
+            and isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == selfname
+            and node.attr in ndarray_attrs):
+        return (f"ndarray field self.{node.attr} serialized bare is "
+                f"not JSON-stable; use self.{node.attr}.tolist()")
+    return None
 
 
 def _value_problem(node: ast.expr) -> str | None:
@@ -110,11 +168,16 @@ class JsonStability(Rule):
             return ctx.finding(RULE_ID, node, key=f"{label}#{n}",
                                message=message)
 
-        for func in ast.walk(ctx.tree):
-            if not (isinstance(func, (ast.FunctionDef,
-                                      ast.AsyncFunctionDef))
-                    and func.name in _METHOD_NAMES):
-                continue
+        def value_problems(part: ast.expr, selfname: str | None,
+                           ndarray_attrs: frozenset[str]) -> str | None:
+            return (_value_problem(part)
+                    or _bare_ndarray_field(part, selfname,
+                                           ndarray_attrs))
+
+        def inspect(func: ast.FunctionDef,
+                    ndarray_attrs: frozenset[str]
+                    ) -> Iterator[Finding]:
+            selfname = self_name(func)
             for node in ast.walk(func):
                 if isinstance(node, ast.Dict):
                     for key, value in zip(node.keys, node.values):
@@ -123,7 +186,8 @@ class JsonStability(Rule):
                             yield finding(key, func.name, "key",
                                           f"in {func.name}(): {problem}")
                         for part in _iter_values(value):
-                            problem = _value_problem(part)
+                            problem = value_problems(part, selfname,
+                                                     ndarray_attrs)
                             if problem:
                                 yield finding(
                                     part, func.name, "value",
@@ -134,7 +198,29 @@ class JsonStability(Rule):
                         yield finding(node.key, func.name, "key",
                                       f"in {func.name}(): {problem}")
                     for part in _iter_values(node.value):
-                        problem = _value_problem(part)
+                        problem = value_problems(part, selfname,
+                                                 ndarray_attrs)
                         if problem:
                             yield finding(part, func.name, "value",
                                           f"in {func.name}(): {problem}")
+
+        # Methods get their class's ndarray-annotation context; bare
+        # snapshot()/to_dict() functions outside any class are still
+        # checked for the construct-level problems.
+        seen: set[int] = set()
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            ndarray_attrs = _ndarray_attrs(cls)
+            for func in cls.body:
+                if (isinstance(func, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                        and func.name in _METHOD_NAMES):
+                    seen.add(id(func))
+                    yield from inspect(func, ndarray_attrs)
+        for func in ast.walk(ctx.tree):
+            if (isinstance(func, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef))
+                    and func.name in _METHOD_NAMES
+                    and id(func) not in seen):
+                yield from inspect(func, frozenset())

@@ -15,10 +15,15 @@ from repro.network.routing import (
 )
 from repro.network.traffic import (
     Flow,
+    FlowBatch,
     uniform_traffic,
+    uniform_batch,
     hotspot_traffic,
+    hotspot_batch,
     cpu_memory_traffic,
+    cpu_memory_batch,
     gpu_allreduce_traffic,
+    gpu_allreduce_batch,
 )
 from repro.network.simulator import (
     AWGRNetworkSimulator,
@@ -48,8 +53,11 @@ from repro.network.wss_simulator import (
 __all__ = [
     "WavelengthAllocator", "OccupancyBoard", "PiggybackState",
     "IndirectRouter", "RouteDecision", "RouteKind",
-    "Flow", "uniform_traffic", "hotspot_traffic", "cpu_memory_traffic",
-    "gpu_allreduce_traffic",
+    "Flow", "FlowBatch",
+    "uniform_traffic", "uniform_batch",
+    "hotspot_traffic", "hotspot_batch",
+    "cpu_memory_traffic", "cpu_memory_batch",
+    "gpu_allreduce_traffic", "gpu_allreduce_batch",
     "AWGRNetworkSimulator", "BatchDecisions", "SimulationReport",
     "ElectronicSwitch", "ELECTRONIC_CATALOG",
     "electronic_disaggregation_latency_ns",

@@ -34,6 +34,14 @@ class RouteKind(Enum):
     BLOCKED = "blocked"
 
 
+#: Integer kind codes for the object-free batch path (also re-exported
+#: by :mod:`repro.network.simulator` for its ``BatchDecisions`` arrays).
+DIRECT, INDIRECT, DOUBLE_INDIRECT, BLOCKED = range(4)
+
+_KIND_BY_CODE = (RouteKind.DIRECT, RouteKind.INDIRECT,
+                 RouteKind.DOUBLE_INDIRECT, RouteKind.BLOCKED)
+
+
 @dataclass(frozen=True)
 class RouteDecision:
     """Outcome of routing one flow.
@@ -114,9 +122,32 @@ class IndirectRouter:
         """
         if src == dst:
             raise ValueError("source equals destination")
-        decision = self._route(src, dst, slots, depth=0)
+        code, path, reservations, stale = self._route_core(
+            src, dst, slots, depth=0)
+        decision = RouteDecision(
+            kind=_KIND_BY_CODE[code], path=path,
+            reservations=reservations, used_stale_fallback=stale)
         self.stats[decision.kind] += 1
         return decision
+
+    def route_tokens(self, src: int, dst: int, slots: int = 1
+                     ) -> tuple[int, int, tuple]:
+        """Route one flow without materializing a :class:`RouteDecision`.
+
+        The object-free twin of :meth:`route_flow` for the batched
+        admission path: identical allocator mutations, RNG consumption,
+        and stats bookkeeping, but the outcome comes back as plain
+        ``(kind_code, hops, reservations)`` — kind codes are the
+        module-level :data:`DIRECT` ... :data:`BLOCKED` ints and
+        ``reservations`` the usual (a, b, planes) tuples, ready to be
+        scattered into sub-slot token arrays.
+        """
+        if src == dst:
+            raise ValueError("source equals destination")
+        code, path, reservations, _ = self._route_core(
+            src, dst, slots, depth=0)
+        self.stats[_KIND_BY_CODE[code]] += 1
+        return code, max(0, len(path) - 1), reservations
 
     def release(self, decision: RouteDecision) -> None:
         """Release every reservation of a carried flow."""
@@ -169,50 +200,72 @@ class IndirectRouter:
 
     # -- internals ----------------------------------------------------------------
 
-    def _route(self, src: int, dst: int, slots: int, depth: int) -> RouteDecision:
+    def _route_core(self, src: int, dst: int, slots: int, depth: int
+                    ) -> tuple[int, tuple[int, ...], tuple, bool]:
+        """One flow's routing as plain data: (code, path, reservations,
+        used_stale_fallback).
+
+        The candidate walk is vectorized: after the Valiant shuffle,
+        ground-truth second-hop availability is evaluated for *every*
+        candidate in one array comparison, so the chosen intermediate
+        is found with a single scan instead of per-candidate
+        ``has_capacity`` calls. Only the mispredicted prefix —
+        candidates the (stale) local view endorsed whose onward hop is
+        actually busy — is walked one by one, because each triggers
+        the paper's §IV-A fallback recursion.
+
+        The one-shot scan is exact because nothing that happens during
+        the walk can change column ``dst`` of the occupancy before a
+        later candidate is considered: first-hop (src, mid)
+        allocations never touch it (mid != dst), and a fallback
+        recursion either succeeds (we return immediately) or releases
+        everything it allocated, leaving occupancy bit-identical to
+        the walk's start.
+        """
         # 1. Direct wavelength.
         if self.allocator.has_capacity(src, dst, slots):
             planes = self.allocator.allocate(src, dst, slots)
-            kind = RouteKind.DIRECT if depth == 0 else RouteKind.DOUBLE_INDIRECT
-            return RouteDecision(
-                kind=kind, path=(src, dst),
-                reservations=((src, dst, tuple(planes)),),
-                used_stale_fallback=depth > 0)
+            return (DIRECT if depth == 0 else DOUBLE_INDIRECT,
+                    (src, dst), ((src, dst, tuple(planes)),), depth > 0)
 
         # 2. Valiant intermediate per the (possibly stale) local view.
         candidates = self.candidate_intermediates(src, dst, slots)
         self._rng.shuffle(candidates)
-        for mid in candidates:
-            mid = int(mid)
-            if not self.allocator.has_capacity(src, mid, slots):
-                # Stale view lied about our own first hop (cannot really
-                # happen with per-source truth, but kept for safety).
-                continue
-            first = self.allocator.allocate(src, mid, slots)
-            if self.allocator.has_capacity(mid, dst, slots):
+        if len(candidates):
+            onward_free = (self.allocator.free_slots_to(dst)[candidates]
+                           >= slots)
+            free = np.flatnonzero(onward_free)
+            mispredicted = int(free[0]) if free.size else len(candidates)
+            for i in range(mispredicted):
+                mid = int(candidates[i])
+                if not self.allocator.has_capacity(src, mid, slots):
+                    # Stale view lied about our own first hop (cannot
+                    # really happen with per-source truth, but kept
+                    # for safety).
+                    continue
+                first = self.allocator.allocate(src, mid, slots)
+                # Stale information: the onward hop is actually busy.
+                # The intermediate performs its own indirect routing
+                # (§IV-A).
+                self.stale_mispredictions += 1
+                if depth < self.max_fallback_depth:
+                    code, path, reservations, _ = self._route_core(
+                        mid, dst, slots, depth + 1)
+                    if code != BLOCKED:
+                        return (DOUBLE_INDIRECT, (src,) + path,
+                                ((src, mid, tuple(first)),)
+                                + reservations, True)
+                self.allocator.release(src, mid, first)
+            if mispredicted < len(candidates):
+                mid = int(candidates[mispredicted])
+                first = self.allocator.allocate(src, mid, slots)
                 second = self.allocator.allocate(mid, dst, slots)
-                return RouteDecision(
-                    kind=(RouteKind.INDIRECT if depth == 0
-                          else RouteKind.DOUBLE_INDIRECT),
-                    path=(src, mid, dst),
-                    reservations=((src, mid, tuple(first)),
-                                  (mid, dst, tuple(second))),
-                    used_stale_fallback=depth > 0)
-            # Stale information: the onward hop is actually busy. The
-            # intermediate performs its own indirect routing (§IV-A).
-            self.stale_mispredictions += 1
-            if depth < self.max_fallback_depth:
-                onward = self._route(mid, dst, slots, depth + 1)
-                if onward.kind is not RouteKind.BLOCKED:
-                    return RouteDecision(
-                        kind=RouteKind.DOUBLE_INDIRECT,
-                        path=(src,) + onward.path,
-                        reservations=((src, mid, tuple(first)),)
-                        + onward.reservations,
-                        used_stale_fallback=True)
-            self.allocator.release(src, mid, first)
+                return (INDIRECT if depth == 0 else DOUBLE_INDIRECT,
+                        (src, mid, dst),
+                        ((src, mid, tuple(first)),
+                         (mid, dst, tuple(second))), depth > 0)
 
-        return RouteDecision(kind=RouteKind.BLOCKED, path=(src,))
+        return (BLOCKED, (src,), (), False)
 
     def _believed_free(self, viewer: int, a: int, b: int, slots: int) -> bool:
         """Does ``viewer`` believe (a -> b) has capacity?

@@ -19,12 +19,17 @@ Two admission paths share one set of semantics:
 * the **batched** path (:meth:`AWGRNetworkSimulator.offer_batch`)
   vectorizes a whole slot's arrivals: it bulk-admits the maximal
   prefix of direct-capable flows with one grouped capacity scan and
-  one scatter allocation, falls back to the scalar router only for
-  the first non-direct flow, then rescans. Because direct admissions
+  one scatter allocation, routes the first non-direct flow through
+  the router's object-free ``route_tokens`` fallback (itself a
+  vectorized candidate scan), then rescans. Because direct admissions
   touch only their own (src, dst) wavelengths, the prefix scan is an
   exact replay of sequential admission, so both paths produce
   bit-identical :class:`SimulationReport` aggregates (and identical
   occupancy, RNG consumption, and piggyback state) for seeded runs.
+  The batched path consumes :class:`~repro.network.traffic.FlowBatch`
+  arrays directly and stores every admitted flow as sub-slot tokens,
+  so a whole epoch runs without materializing a single ``Flow`` or
+  ``RouteDecision`` object.
 """
 
 from __future__ import annotations
@@ -33,18 +38,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.network.routing import IndirectRouter, RouteDecision, RouteKind
+from repro.network.routing import (
+    BLOCKED,
+    DIRECT,
+    DOUBLE_INDIRECT,
+    INDIRECT,
+    IndirectRouter,
+    RouteDecision,
+    RouteKind,
+)
 from repro.network.state import PiggybackState
-from repro.network.traffic import Flow
+from repro.network.traffic import Flow, FlowBatch
 from repro.network.wavelength import WavelengthAllocator
-
-#: Kind codes used by the batched path (:attr:`BatchDecisions.kinds`).
-DIRECT, INDIRECT, DOUBLE_INDIRECT, BLOCKED = range(4)
-
-_KIND_CODES = {RouteKind.DIRECT: DIRECT,
-               RouteKind.INDIRECT: INDIRECT,
-               RouteKind.DOUBLE_INDIRECT: DOUBLE_INDIRECT,
-               RouteKind.BLOCKED: BLOCKED}
 
 
 def sequential_sum(start: float, values: np.ndarray) -> float:
@@ -311,40 +316,55 @@ class AWGRNetworkSimulator:
 
     # -- batched admission ---------------------------------------------------------
 
-    def offer_batch(self, flows: list[Flow],
+    def offer_batch(self, flows: FlowBatch | list[Flow],
                     duration_slots: int = 1) -> BatchDecisions:
         """Admit one slot's flows through the vectorized hot path.
 
-        Sequential admission is replayed exactly: flows are scanned in
-        order, the maximal prefix that fits its direct wavelengths
-        (per-pair grouped cumulative demand against the free-slot
-        counts) is bulk-admitted with one scatter allocation, the
-        first non-direct flow is routed through the scalar
-        :class:`IndirectRouter` (preserving RNG consumption), and the
-        scan resumes after it. Direct admissions only consume their
-        own pair's capacity, so the prefix check is exact; indirect
+        Accepts a :class:`FlowBatch` natively (the object-free form
+        the generators emit); ``list[Flow]`` inputs are converted at
+        the boundary. Sequential admission is replayed exactly: flows
+        are scanned in order, the maximal prefix that fits its direct
+        wavelengths (per-pair grouped cumulative demand against the
+        free-slot counts) is bulk-admitted with one scatter
+        allocation, the first non-direct flow is routed through the
+        :meth:`IndirectRouter.route_tokens` fallback (same allocator
+        mutations and RNG consumption as the scalar router, one
+        vectorized candidate scan per overflow flow), and the scan
+        resumes after it. Direct admissions only consume their own
+        pair's capacity, so the prefix check is exact; indirect
         reservations can touch any pair, which is why the scan stops
         and recomputes at each residual flow.
+
+        Every admitted flow — direct or indirect — lives on as rows
+        of a :class:`_DirectBatch` token store, so expiry and plane
+        failures on the batched path stay pure array compaction with
+        no per-flow Python objects.
         """
-        n = len(flows)
+        batch = FlowBatch.from_flows(flows)
+        n = len(batch)
         kinds = np.empty(n, dtype=np.uint8)
         hops = np.zeros(n, dtype=np.int64)
-        gbps = np.fromiter((f.gbps for f in flows),
-                           dtype=np.float64, count=n)
+        gbps = batch.gbps
         if n == 0:
             return BatchDecisions(kinds=kinds, hops=hops, gbps=gbps)
-        src = np.fromiter((f.src for f in flows), dtype=np.int64, count=n)
-        dst = np.fromiter((f.dst for f in flows), dtype=np.int64, count=n)
+        src = batch.src
+        dst = batch.dst
         # Same endpoint validation the scalar path gets from
         # WavelengthAllocator._check (numpy would otherwise wrap
         # negative indices silently).
         if (min(src.min(), dst.min()) < 0
                 or max(src.max(), dst.max()) >= self.n_nodes):
             raise ValueError("flow endpoint out of range")
-        slots = np.ceil(gbps / self.slot_gbps).astype(np.int64)
-        np.maximum(slots, 1, out=slots)
+        slots = batch.slots(self.slot_gbps)
         pid = src * self.allocator.n_nodes + dst
         bucket = self._bucket_at(duration_slots)
+        # Sub-slot tokens of router-carried (indirect) flows, flushed
+        # as one _DirectBatch after the scan; flow ids are batch
+        # indices, so the whole flow drops together on plane failure.
+        tok_src: list[int] = []
+        tok_dst: list[int] = []
+        tok_plane: list[int] = []
+        tok_flow: list[int] = []
 
         start = 0
         while start < n:
@@ -356,14 +376,22 @@ class AWGRNetworkSimulator:
             # First flow the direct wavelengths cannot absorb: route it
             # exactly as the scalar path would (same allocator state,
             # same RNG draws), then rescan the remainder.
-            flow = flows[stop]
-            decision = self.router.route_flow(
-                flow.src, flow.dst, int(slots[stop]))
-            kinds[stop] = _KIND_CODES[decision.kind]
-            hops[stop] = decision.hops
-            if decision.kind is not RouteKind.BLOCKED:
-                bucket.entries.append((flow, decision))
+            code, n_hops, reservations = self.router.route_tokens(
+                int(src[stop]), int(dst[stop]), int(slots[stop]))
+            kinds[stop] = code
+            hops[stop] = n_hops
+            for (a, b, planes) in reservations:
+                tok_src.extend([a] * len(planes))
+                tok_dst.extend([b] * len(planes))
+                tok_plane.extend(planes)
+                tok_flow.extend([stop] * len(planes))
             start = stop + 1
+        if tok_src:
+            bucket.batches.append(_DirectBatch(
+                src=np.asarray(tok_src, dtype=np.int64),
+                dst=np.asarray(tok_dst, dtype=np.int64),
+                plane=np.asarray(tok_plane, dtype=np.int64),
+                flow=np.asarray(tok_flow, dtype=np.int64)))
         return BatchDecisions(kinds=kinds, hops=hops, gbps=gbps)
 
     def _admit_direct_prefix(self, pid: np.ndarray, slots: np.ndarray,

@@ -103,18 +103,32 @@ class PiggybackState:
     # -- time ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance one slot: age every view, deliver due broadcasts."""
+        """Advance one slot: age every view, deliver due broadcasts.
+
+        The due sources' status vectors are gathered in one batched
+        :meth:`~repro.network.wavelength.WavelengthAllocator.slot_bitmaps`
+        read and installed with one row assignment per board — the
+        same values the per-source ``_broadcast`` loop would write
+        (integer row installs, no accumulation), without the N_due x N
+        Python calls that used to dominate full-rack epochs.
+        """
         self._now += 1
+        due = np.flatnonzero(
+            (self._now + self._phase) % self.update_period == 0)
+        fresh = self.allocator.slot_bitmaps(due) if due.size else None
         for board in self.boards:
             board.tick()
-        for src in range(self.allocator.n_nodes):
-            if (self._now + int(self._phase[src])) % self.update_period == 0:
-                self._broadcast(src)
+            if fresh is not None:
+                board.view[due] = fresh
+                board.age[due] = 0
 
     def broadcast_all(self) -> None:
         """Deliver fresh state from every source (e.g. at t=0)."""
-        for src in range(self.allocator.n_nodes):
-            self._broadcast(src)
+        srcs = np.arange(self.allocator.n_nodes)
+        fresh = self.allocator.slot_bitmaps(srcs)
+        for board in self.boards:
+            board.view[srcs] = fresh
+            board.age[srcs] = 0
 
     def _broadcast(self, src: int) -> None:
         vector = self.allocator.slot_bitmap(src)

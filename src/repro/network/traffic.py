@@ -4,11 +4,29 @@ Patterns mirror the communication classes the paper's bandwidth
 analysis reasons about (§VI-A): CPU <-> DDR4 and NIC <-> memory flows
 sized from production profiles, GPU <-> HBM streams at near-line-rate,
 and GPU <-> GPU collective traffic that replaces NVLink.
+
+Two representations of the same traffic:
+
+* :class:`Flow` — one Python object per flow. The readable scalar
+  form, used by the reference (oracle) admission paths and anywhere
+  a handful of flows is inspected by hand.
+* :class:`FlowBatch` — structure-of-arrays (``src``/``dst``/``gbps``
+  numpy arrays plus an interned kind table). The hot-path form: the
+  generators sample it directly with vectorized draws, and the
+  batched admission paths consume it without materializing objects.
+
+The two are bit-exact views of each other: every ``*_batch`` generator
+consumes the RNG in exactly the order of the historical per-flow loop
+(``rng.integers(0, high_array)`` with a broadcast bound array draws
+the same Lemire-bounded stream as the equivalent sequence of scalar
+calls, including the 32-bit half-word buffer), so
+``uniform_traffic(...)`` == ``uniform_batch(...).to_flows()`` for any
+seed, and both leave the generator in the same state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -68,42 +86,245 @@ class Flow:
                    kind=str(payload.get("kind", "generic")))
 
 
+@dataclass
+class FlowBatch:
+    """A set of flows as structure-of-arrays.
+
+    ``src``/``dst`` are int64 endpoint arrays, ``gbps`` the float64
+    offered loads, and each flow's kind is ``kinds[kind_codes[i]]`` —
+    kind strings are interned once per batch instead of hung off every
+    flow. All four arrays have one entry per flow (``kinds`` is the
+    intern table, typically length 1 per generator).
+
+    Batches are the native currency of the vectorized pipeline:
+    generators emit them, ``offer_batch``/backend ``step`` consume
+    them, and :meth:`to_dict`/:meth:`from_dict` give the JSON-stable
+    form snapshots carry. :meth:`to_flows` (or iteration) is the
+    compatibility view for scalar-path consumers.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    gbps: np.ndarray
+    kinds: list[str] = field(default_factory=lambda: ["generic"])
+    kind_codes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.src = np.ascontiguousarray(self.src, dtype=np.int64)
+        self.dst = np.ascontiguousarray(self.dst, dtype=np.int64)
+        self.gbps = np.ascontiguousarray(self.gbps, dtype=np.float64)
+        if self.kind_codes is None:
+            self.kind_codes = np.zeros(len(self.src), dtype=np.int64)
+        self.kind_codes = np.ascontiguousarray(self.kind_codes,
+                                               dtype=np.int64)
+        n = len(self.src)
+        if not (len(self.dst) == len(self.gbps)
+                == len(self.kind_codes) == n):
+            raise ValueError("batch arrays must share one length")
+        if n and np.any(self.src == self.dst):
+            raise ValueError("flow endpoints must differ")
+        if n and np.any(self.gbps <= 0):
+            raise ValueError("flow bandwidth must be positive")
+        if not self.kinds:
+            raise ValueError("batch needs a non-empty kind table")
+        if n and (int(self.kind_codes.min()) < 0
+                  or int(self.kind_codes.max()) >= len(self.kinds)):
+            raise ValueError("kind code outside the intern table")
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def __iter__(self):
+        return iter(self.to_flows())
+
+    def kind_of(self, i: int) -> str:
+        """Kind label of flow ``i``."""
+        return self.kinds[int(self.kind_codes[i])]
+
+    def flow_at(self, i: int) -> Flow:
+        """Materialize flow ``i`` as a scalar :class:`Flow`."""
+        return Flow(int(self.src[i]), int(self.dst[i]),
+                    float(self.gbps[i]), self.kind_of(i))
+
+    def to_flows(self) -> list[Flow]:
+        """Compatibility view: the same flows as Python objects."""
+        src = self.src.tolist()
+        dst = self.dst.tolist()
+        gbps = self.gbps.tolist()
+        codes = self.kind_codes.tolist()
+        kinds = self.kinds
+        return [Flow(s, d, g, kinds[c])
+                for s, d, g, c in zip(src, dst, gbps, codes)]
+
+    def slots(self, gbps_per_slot: float) -> np.ndarray:
+        """Per-flow sub-slot demand at a given slot granularity.
+
+        Vectorized twin of :meth:`Flow.slots` — identical to calling
+        it per flow (same ceil-then-floor-at-one semantics, including
+        fractional ``gbps_per_slot``).
+        """
+        slots = np.ceil(self.gbps / gbps_per_slot).astype(np.int64)
+        np.maximum(slots, 1, out=slots)
+        return slots
+
+    def to_dict(self) -> dict:
+        """JSON-stable form (round-trips exactly via :meth:`from_dict`).
+
+        ``gbps`` floats survive json encode/decode bit-exactly:
+        ``tolist`` yields Python floats and json round-trips those via
+        repr, so no precision is shed.
+        """
+        return {
+            "src": self.src.tolist(),
+            "dst": self.dst.tolist(),
+            "gbps": self.gbps.tolist(),
+            "kinds": list(self.kinds),
+            "kind_codes": self.kind_codes.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FlowBatch":
+        """Inverse of :meth:`to_dict` (accepts JSON-decoded dicts)."""
+        return cls(
+            src=np.asarray(payload["src"], dtype=np.int64),
+            dst=np.asarray(payload["dst"], dtype=np.int64),
+            gbps=np.asarray(payload["gbps"], dtype=np.float64),
+            kinds=[str(k) for k in payload["kinds"]],
+            kind_codes=np.asarray(payload["kind_codes"],
+                                  dtype=np.int64),
+        )
+
+    @classmethod
+    def empty(cls, kind: str = "generic") -> "FlowBatch":
+        """A zero-flow batch."""
+        z = np.zeros(0, dtype=np.int64)
+        return cls(src=z, dst=z.copy(), gbps=np.zeros(0),
+                   kinds=[kind], kind_codes=z.copy())
+
+    @classmethod
+    def from_flows(cls, flows) -> "FlowBatch":
+        """Build a batch from scalar flows (or pass one through)."""
+        if isinstance(flows, FlowBatch):
+            return flows
+        flows = list(flows)
+        if not flows:
+            return cls.empty()
+        kinds: list[str] = []
+        intern: dict[str, int] = {}
+        codes = np.empty(len(flows), dtype=np.int64)
+        for i, f in enumerate(flows):
+            code = intern.get(f.kind)
+            if code is None:
+                code = intern[f.kind] = len(kinds)
+                kinds.append(f.kind)
+            codes[i] = code
+        return cls(
+            src=np.fromiter((f.src for f in flows), dtype=np.int64,
+                            count=len(flows)),
+            dst=np.fromiter((f.dst for f in flows), dtype=np.int64,
+                            count=len(flows)),
+            gbps=np.fromiter((f.gbps for f in flows),
+                             dtype=np.float64, count=len(flows)),
+            kinds=kinds, kind_codes=codes)
+
+    @classmethod
+    def concat(cls, batches) -> "FlowBatch":
+        """Concatenate batches in order, re-interning kind tables."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        kinds: list[str] = []
+        intern: dict[str, int] = {}
+        codes = []
+        for b in batches:
+            remap = np.empty(len(b.kinds), dtype=np.int64)
+            for j, kind in enumerate(b.kinds):
+                code = intern.get(kind)
+                if code is None:
+                    code = intern[kind] = len(kinds)
+                    kinds.append(kind)
+                remap[j] = code
+            codes.append(remap[b.kind_codes])
+        return cls(src=np.concatenate([b.src for b in batches]),
+                   dst=np.concatenate([b.dst for b in batches]),
+                   gbps=np.concatenate([b.gbps for b in batches]),
+                   kinds=kinds, kind_codes=np.concatenate(codes))
+
+
+def as_flow_batch(flows) -> FlowBatch:
+    """Coerce a batch-or-list argument to a :class:`FlowBatch`."""
+    return FlowBatch.from_flows(flows)
+
+
+def as_flow_list(flows) -> list:
+    """Coerce a batch-or-list argument to ``list[Flow]``."""
+    if isinstance(flows, FlowBatch):
+        return flows.to_flows()
+    return list(flows)
+
+
+# -- generators (batch-native; the list forms are thin views) -----------------
+
+
+def uniform_batch(n_nodes: int, n_flows: int, gbps: float = 25.0,
+                  rng: SeedLike = None) -> FlowBatch:
+    """Uniform-random pairs, fixed per-flow load.
+
+    Draw order matches the historical per-flow loop exactly: one
+    ``integers(n_nodes)`` then one ``integers(n_nodes - 1)`` per flow,
+    via a single broadcast-bound call.
+    """
+    rng = as_generator(rng)
+    high = np.empty(2 * n_flows, dtype=np.int64)
+    high[0::2] = n_nodes
+    high[1::2] = n_nodes - 1
+    draws = (rng.integers(0, high) if n_flows
+             else np.zeros(0, dtype=np.int64))
+    src = np.ascontiguousarray(draws[0::2])
+    dst = np.ascontiguousarray(draws[1::2])
+    dst += dst >= src
+    return FlowBatch(src=src, dst=dst,
+                     gbps=np.full(n_flows, float(gbps)),
+                     kinds=["uniform"])
+
+
 def uniform_traffic(n_nodes: int, n_flows: int, gbps: float = 25.0,
                     rng: SeedLike = None) -> list[Flow]:
     """Uniform-random pairs, fixed per-flow load."""
-    rng = as_generator(rng)
-    flows = []
-    for _ in range(n_flows):
-        src = int(rng.integers(n_nodes))
-        dst = int(rng.integers(n_nodes - 1))
-        if dst >= src:
-            dst += 1
-        flows.append(Flow(src, dst, gbps, kind="uniform"))
-    return flows
+    return uniform_batch(n_nodes, n_flows, gbps, rng).to_flows()
 
 
-def hotspot_traffic(n_nodes: int, hotspot: int, n_flows: int,
-                    gbps: float = 25.0,
-                    rng: SeedLike = None) -> list[Flow]:
+def hotspot_batch(n_nodes: int, hotspot: int, n_flows: int,
+                  gbps: float = 25.0,
+                  rng: SeedLike = None) -> FlowBatch:
     """Many sources converge on one destination (worst case for direct
     wavelengths; exercises indirect routing)."""
     rng = as_generator(rng)
     if not 0 <= hotspot < n_nodes:
         raise ValueError("hotspot index out of range")
-    flows = []
-    for _ in range(n_flows):
-        src = int(rng.integers(n_nodes - 1))
-        if src >= hotspot:
-            src += 1
-        flows.append(Flow(src, hotspot, gbps, kind="hotspot"))
-    return flows
+    src = rng.integers(n_nodes - 1, size=n_flows)
+    src += src >= hotspot
+    return FlowBatch(src=src,
+                     dst=np.full(n_flows, hotspot, dtype=np.int64),
+                     gbps=np.full(n_flows, float(gbps)),
+                     kinds=["hotspot"])
 
 
-def cpu_memory_traffic(cpu_nodes: list[int], memory_nodes: list[int],
-                       demand_gbps: np.ndarray | None = None,
-                       rng: SeedLike = None,
-                       p99_gbps: float = 125.0,
-                       median_gbps: float = 3.7) -> list[Flow]:
+def hotspot_traffic(n_nodes: int, hotspot: int, n_flows: int,
+                    gbps: float = 25.0,
+                    rng: SeedLike = None) -> list[Flow]:
+    """Many sources converge on one destination."""
+    return hotspot_batch(n_nodes, hotspot, n_flows, gbps,
+                         rng).to_flows()
+
+
+def cpu_memory_batch(cpu_nodes: list[int], memory_nodes: list[int],
+                     demand_gbps: np.ndarray | None = None,
+                     rng: SeedLike = None,
+                     p99_gbps: float = 125.0,
+                     median_gbps: float = 3.7) -> FlowBatch:
     """CPU <-> DDR4 flows with a production-like heavy-tailed demand.
 
     §VI-A: on Cori, 25 Gbps covers CPU-memory demand 97% of the time
@@ -123,16 +344,26 @@ def cpu_memory_traffic(cpu_nodes: list[int], memory_nodes: list[int],
         sigma = (np.log(125.0) - np.log(25.0)) / (2.576 - 1.881)
         mu = np.log(25.0) - 1.881 * sigma
         demand_gbps = rng.lognormal(mu, sigma, size=n)
-    flows = []
-    for i, cpu in enumerate(cpu_nodes):
-        mem = memory_nodes[i % len(memory_nodes)]
-        flows.append(Flow(cpu, mem, float(max(demand_gbps[i], 0.01)),
-                          kind="cpu-mem"))
-    return flows
+    gbps = np.maximum(np.asarray(demand_gbps,
+                                 dtype=np.float64)[:n], 0.01)
+    mems = np.asarray(memory_nodes, dtype=np.int64)
+    return FlowBatch(src=np.asarray(cpu_nodes, dtype=np.int64),
+                     dst=mems[np.arange(n) % len(mems)],
+                     gbps=gbps, kinds=["cpu-mem"])
 
 
-def gpu_allreduce_traffic(gpu_nodes: list[int], gbps_per_pair: float,
-                          ) -> list[Flow]:
+def cpu_memory_traffic(cpu_nodes: list[int], memory_nodes: list[int],
+                       demand_gbps: np.ndarray | None = None,
+                       rng: SeedLike = None,
+                       p99_gbps: float = 125.0,
+                       median_gbps: float = 3.7) -> list[Flow]:
+    """CPU <-> DDR4 flows with a production-like heavy-tailed demand."""
+    return cpu_memory_batch(cpu_nodes, memory_nodes, demand_gbps,
+                            rng, p99_gbps, median_gbps).to_flows()
+
+
+def gpu_allreduce_batch(gpu_nodes: list[int], gbps_per_pair: float,
+                        ) -> FlowBatch:
     """Ring-style GPU <-> GPU collective: node i sends to node i+1.
 
     §VI-A worst case: every GPU MCM communicates at full NVLink-class
@@ -141,20 +372,33 @@ def gpu_allreduce_traffic(gpu_nodes: list[int], gbps_per_pair: float,
     """
     if len(gpu_nodes) < 2:
         raise ValueError("need at least two GPU nodes")
-    flows = []
-    for i, src in enumerate(gpu_nodes):
-        dst = gpu_nodes[(i + 1) % len(gpu_nodes)]
-        flows.append(Flow(src, dst, gbps_per_pair, kind="gpu-gpu"))
-    return flows
+    src = np.asarray(gpu_nodes, dtype=np.int64)
+    return FlowBatch(src=src, dst=np.roll(src, -1),
+                     gbps=np.full(len(src), float(gbps_per_pair)),
+                     kinds=["gpu-gpu"])
+
+
+def gpu_allreduce_traffic(gpu_nodes: list[int], gbps_per_pair: float,
+                          ) -> list[Flow]:
+    """Ring-style GPU <-> GPU collective: node i sends to node i+1."""
+    return gpu_allreduce_batch(gpu_nodes, gbps_per_pair).to_flows()
+
+
+def gpu_hbm_batch(gpu_nodes: list[int], hbm_nodes: list[int],
+                  gbyte_s_per_gpu: float = 1555.2) -> FlowBatch:
+    """GPU <-> HBM streaming at native HBM bandwidth."""
+    if not gpu_nodes or not hbm_nodes:
+        raise ValueError("need GPU and HBM nodes")
+    hbms = np.asarray(hbm_nodes, dtype=np.int64)
+    n = len(gpu_nodes)
+    return FlowBatch(src=np.asarray(gpu_nodes, dtype=np.int64),
+                     dst=hbms[np.arange(n) % len(hbms)],
+                     gbps=np.full(n, gbyte_s_per_gpu * 8.0),
+                     kinds=["gpu-hbm"])
 
 
 def gpu_hbm_traffic(gpu_nodes: list[int], hbm_nodes: list[int],
                     gbyte_s_per_gpu: float = 1555.2) -> list[Flow]:
     """GPU <-> HBM streaming at native HBM bandwidth."""
-    if not gpu_nodes or not hbm_nodes:
-        raise ValueError("need GPU and HBM nodes")
-    flows = []
-    for i, gpu in enumerate(gpu_nodes):
-        hbm = hbm_nodes[i % len(hbm_nodes)]
-        flows.append(Flow(gpu, hbm, gbyte_s_per_gpu * 8.0, kind="gpu-hbm"))
-    return flows
+    return gpu_hbm_batch(gpu_nodes, hbm_nodes,
+                         gbyte_s_per_gpu).to_flows()

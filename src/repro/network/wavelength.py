@@ -133,6 +133,15 @@ class WavelengthAllocator:
         self._check(src, 0)
         return self._occupancy[src].sum(axis=1).copy()
 
+    def slot_bitmaps(self, srcs: np.ndarray) -> np.ndarray:
+        """(len(srcs), n_nodes) used sub-slot counts, one row per
+        source — the batched form of :meth:`slot_bitmap`, used to
+        deliver a whole slot's due status broadcasts at once."""
+        srcs = np.asarray(srcs, dtype=np.intp)
+        if srcs.size and (srcs.min() < 0 or srcs.max() >= self.n_nodes):
+            raise IndexError("source index out of range")
+        return self._occupancy[srcs].sum(axis=2)
+
     # -- mutation --------------------------------------------------------------
 
     def allocate(self, src: int, dst: int, slots: int = 1) -> list[int]:

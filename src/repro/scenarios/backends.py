@@ -40,7 +40,7 @@ from repro.network.simulator import (
     AWGRNetworkSimulator,
     sequential_sum,
 )
-from repro.network.traffic import Flow
+from repro.network.traffic import Flow, FlowBatch, as_flow_list
 from repro.network.wss_simulator import WSSNetworkSimulator
 from repro.scenarios.scenario import ScenarioEvent
 
@@ -128,11 +128,18 @@ class EpochReport:
 
 @runtime_checkable
 class FabricBackend(Protocol):
-    """Anything the scenario runner can drive through epochs."""
+    """Anything the scenario runner can drive through epochs.
+
+    ``step`` accepts either representation of an epoch's traffic — a
+    :class:`~repro.network.traffic.FlowBatch` (the object-free hot
+    path the runner and service pool feed) or a ``list[Flow]`` — and
+    must produce a bit-identical :class:`EpochReport` for both forms
+    of the same flows.
+    """
 
     name: str
 
-    def step(self, flows: list[Flow]) -> EpochReport:
+    def step(self, flows: FlowBatch | list[Flow]) -> EpochReport:
         """Serve one epoch's flow batch and report what happened."""
         ...
 
@@ -185,6 +192,10 @@ class AWGRBackend:
     duration_slots: int = 2
     rng_seed: int = 0
     batch_admission: bool = True
+    #: False runs the §VI-A feasibility configuration (no piggybacked
+    #: staleness model): routing sees ground-truth occupancy and the
+    #: per-epoch status broadcast is skipped entirely.
+    track_state: bool = True
     name: str = "awgr"
 
     def __post_init__(self) -> None:
@@ -194,10 +205,11 @@ class AWGRBackend:
             gbps_per_wavelength=self.gbps_per_wavelength,
             state_update_period=self.state_update_period,
             rng_seed=self.rng_seed,
-            batch_admission=self.batch_admission)
+            batch_admission=self.batch_admission,
+            track_state=self.track_state)
         self._epoch = 0
 
-    def step(self, flows: list[Flow]) -> EpochReport:
+    def step(self, flows: FlowBatch | list[Flow]) -> EpochReport:
         if self.batch_admission:
             report = self._step_batched(flows)
         else:
@@ -208,9 +220,9 @@ class AWGRBackend:
         self._epoch += 1
         return report
 
-    def _step_scalar(self, flows: list[Flow]) -> EpochReport:
+    def _step_scalar(self, flows: FlowBatch | list[Flow]) -> EpochReport:
         report = EpochReport(epoch=self._epoch)
-        for flow in flows:
+        for flow in as_flow_list(flows):
             decision = self.sim.offer(flow, self.duration_slots)
             report.offered += 1
             report.offered_gbps += flow.gbps
@@ -224,7 +236,8 @@ class AWGRBackend:
             report.slowdowns.append(float(decision.hops))
         return report
 
-    def _step_batched(self, flows: list[Flow]) -> EpochReport:
+    def _step_batched(self, flows: FlowBatch | list[Flow]
+                      ) -> EpochReport:
         report = EpochReport(epoch=self._epoch)
         decisions = self.sim.offer_batch(flows, self.duration_slots)
         carried = decisions.carried_mask
@@ -276,6 +289,12 @@ class WSSBackend:
     "set_reconfig_time" (seconds of reconfiguration lag), and
     "fail_plane" / "repair_plane" reinterpreted as losing / regaining
     one parallel WSS switch.
+
+    ``batch_step=True`` (the default) serves the whole epoch with
+    array gathers over the demand/served matrices; the per-flow loop
+    survives as the seeded bit-identical reference oracle
+    (``batch_step=False``), mirroring the AWGR backend's
+    ``batch_admission`` switch.
     """
 
     n_nodes: int
@@ -284,6 +303,7 @@ class WSSBackend:
     gbps_per_wavelength: float = 25.0
     reconfig_period: int = 1
     slot_time_s: float = 1.0
+    batch_step: bool = True
     name: str = "wss"
 
     def __post_init__(self) -> None:
@@ -296,9 +316,13 @@ class WSSBackend:
         self._epoch = 0
         self._since_reconfig = 0
 
-    def step(self, flows: list[Flow]) -> EpochReport:
-        report = EpochReport(epoch=self._epoch)
-        demand = WSSNetworkSimulator.demand_matrix(flows, self.n_nodes)
+    def _serve(self, demand: np.ndarray
+               ) -> tuple[np.ndarray, bool, float]:
+        """Reconfigure if due and compute the (N, N) served matrix.
+
+        Shared verbatim by the scalar and batched paths so the
+        scheduler/downtime behavior cannot drift between them.
+        """
         downtime_fraction = 0.0
         reconfigured = False
         if self._since_reconfig % self.reconfig_period == 0:
@@ -312,6 +336,23 @@ class WSSBackend:
             for cfg in self.fabric.configs)
         served = (np.minimum(demand, configured)
                   * (1.0 - downtime_fraction))
+        return served, reconfigured, downtime_fraction
+
+    def step(self, flows: FlowBatch | list[Flow]) -> EpochReport:
+        if self.batch_step:
+            report = self._step_batched(FlowBatch.from_flows(flows))
+        else:
+            report = self._step_scalar(as_flow_list(flows))
+        report.extras["healthy_switches"] = len(self.fabric.configs)
+        self._epoch += 1
+        self._since_reconfig += 1
+        return report
+
+    def _step_scalar(self, flows: list[Flow]) -> EpochReport:
+        """Reference per-flow loop (the pre-vectorization path)."""
+        report = EpochReport(epoch=self._epoch)
+        demand = WSSNetworkSimulator.demand_matrix(flows, self.n_nodes)
+        served, reconfigured, downtime_fraction = self._serve(demand)
         for flow in flows:
             report.offered += 1
             report.offered_gbps += flow.gbps
@@ -326,9 +367,34 @@ class WSSBackend:
             report.slowdowns.append(1.0 / fraction)
         report.extras["reconfigured"] = reconfigured
         report.extras["downtime_fraction"] = downtime_fraction
-        report.extras["healthy_switches"] = len(self.fabric.configs)
-        self._epoch += 1
-        self._since_reconfig += 1
+        return report
+
+    def _step_batched(self, batch: FlowBatch) -> EpochReport:
+        """Vectorized epoch: one gather per flow array, no objects.
+
+        Bit-identical to :meth:`_step_scalar`: the demand matrix
+        accumulates in flow order (unbuffered ``np.add.at``), each
+        flow's service fraction is the same elementwise IEEE division,
+        and the Gbps aggregates fold strictly left to right.
+        """
+        report = EpochReport(epoch=self._epoch)
+        demand = WSSNetworkSimulator.demand_matrix(batch, self.n_nodes)
+        served, reconfigured, downtime_fraction = self._serve(demand)
+        n = len(batch)
+        report.offered = n
+        report.offered_gbps = sequential_sum(0.0, batch.gbps)
+        pair_demand = demand[batch.src, batch.dst]
+        fraction = np.zeros(n)
+        np.divide(served[batch.src, batch.dst], pair_demand,
+                  out=fraction, where=pair_demand > 0)
+        carried = fraction > 0.0
+        report.carried = int(np.count_nonzero(carried))
+        report.blocked = n - report.carried
+        report.carried_gbps = sequential_sum(
+            0.0, (batch.gbps * fraction)[carried])
+        report.slowdowns = (1.0 / fraction[carried]).tolist()
+        report.extras["reconfigured"] = reconfigured
+        report.extras["downtime_fraction"] = downtime_fraction
         return report
 
     def apply_event(self, event: ScenarioEvent) -> bool:
@@ -387,11 +453,16 @@ class ElectronicBackend:
     are overkill for a comparator — proportional sharing matches the
     optimistic-for-electronics stance of §VI-D). Latency is reported
     as an extra, not simulated. Events are not supported.
+
+    ``batch_step=True`` (the default) computes every flow's share with
+    one scatter-add + gather; ``batch_step=False`` keeps the per-flow
+    reference loop for bit-identity tests.
     """
 
     n_nodes: int
     technology: str = "pcie-gen5"
     lanes_per_endpoint: int = 8
+    batch_step: bool = True
     name: str = "electronic"
 
     def __post_init__(self) -> None:
@@ -403,7 +474,17 @@ class ElectronicBackend:
             self.technology, endpoints=self.n_nodes)  # repro-check: derived
         self._epoch = 0
 
-    def step(self, flows: list[Flow]) -> EpochReport:
+    def step(self, flows: FlowBatch | list[Flow]) -> EpochReport:
+        if self.batch_step:
+            report = self._step_batched(FlowBatch.from_flows(flows))
+        else:
+            report = self._step_scalar(as_flow_list(flows))
+        report.extras["added_latency_ns"] = self.added_latency_ns
+        self._epoch += 1
+        return report
+
+    def _step_scalar(self, flows: list[Flow]) -> EpochReport:
+        """Reference per-flow loop (the pre-vectorization path)."""
         report = EpochReport(epoch=self._epoch)
         egress = np.zeros(self.n_nodes)
         ingress = np.zeros(self.n_nodes)
@@ -420,8 +501,31 @@ class ElectronicBackend:
             report.carried += 1
             report.carried_gbps += flow.gbps * share
             report.slowdowns.append(1.0 / share)
-        report.extras["added_latency_ns"] = self.added_latency_ns
-        self._epoch += 1
+        return report
+
+    def _step_batched(self, batch: FlowBatch) -> EpochReport:
+        """Vectorized epoch: scatter-add endpoint loads, gather shares.
+
+        Bit-identical to :meth:`_step_scalar`: ``np.add.at`` is
+        unbuffered so repeated endpoints accumulate in flow order
+        exactly like the ``+=`` loop, the share min-chain is the same
+        elementwise IEEE arithmetic, and the Gbps aggregates fold
+        strictly left to right.
+        """
+        report = EpochReport(epoch=self._epoch)
+        n = len(batch)
+        egress = np.zeros(self.n_nodes)
+        ingress = np.zeros(self.n_nodes)
+        np.add.at(egress, batch.src, batch.gbps)
+        np.add.at(ingress, batch.dst, batch.gbps)
+        report.offered = n
+        report.offered_gbps = sequential_sum(0.0, batch.gbps)
+        share = np.minimum(
+            1.0, np.minimum(self.endpoint_gbps / egress[batch.src],
+                            self.endpoint_gbps / ingress[batch.dst]))
+        report.carried = n
+        report.carried_gbps = sequential_sum(0.0, batch.gbps * share)
+        report.slowdowns = (1.0 / share).tolist()
         return report
 
     def apply_event(self, event: ScenarioEvent) -> bool:

@@ -32,10 +32,11 @@ import numpy as np
 
 from repro.network.traffic import (
     Flow,
-    cpu_memory_traffic,
-    gpu_allreduce_traffic,
-    hotspot_traffic,
-    uniform_traffic,
+    FlowBatch,
+    cpu_memory_batch,
+    gpu_allreduce_batch,
+    hotspot_batch,
+    uniform_batch,
 )
 
 #: Episode kinds and the traffic class each one emits.
@@ -183,37 +184,58 @@ class Episode:
 
     def generate(self, epoch: int, n_epochs: int, n_nodes: int,
                  rng: np.random.Generator) -> list[Flow]:
-        """Emit this episode's flow batch for one epoch."""
+        """Emit this episode's flow batch for one epoch as objects.
+
+        Thin compatibility view over :meth:`generate_batch` — same
+        flows, same RNG consumption.
+        """
+        return self.generate_batch(epoch, n_epochs, n_nodes,
+                                   rng).to_flows()
+
+    def generate_batch(self, epoch: int, n_epochs: int, n_nodes: int,
+                       rng: np.random.Generator) -> FlowBatch:
+        """Emit this episode's flow batch for one epoch.
+
+        The structure-of-arrays hot path: flows come back as a
+        :class:`~repro.network.traffic.FlowBatch` with no per-flow
+        Python objects, bit-identical (values and RNG stream) to what
+        the historical object-building loop produced.
+        """
         if not self.active(epoch):
-            return []
+            return FlowBatch.empty(self.kind)
         scale = self.intensity(epoch, n_epochs)
         if scale <= 0.0:
-            return []
+            return FlowBatch.empty(self.kind)
         if self.kind in ("uniform", "hotspot"):
             count = int(round(sample_count(self.flows, rng) * scale))
             if count <= 0:
-                return []
+                return FlowBatch.empty(self.kind)
             if self.kind == "uniform":
-                return uniform_traffic(n_nodes, count, gbps=self.gbps,
-                                       rng=rng)
-            return hotspot_traffic(n_nodes,
-                                   int(self.params.get("hotspot", 0)),
-                                   count, gbps=self.gbps, rng=rng)
+                return uniform_batch(n_nodes, count, gbps=self.gbps,
+                                     rng=rng)
+            return hotspot_batch(n_nodes,
+                                 int(self.params.get("hotspot", 0)),
+                                 count, gbps=self.gbps, rng=rng)
         gbps = max(0.01, self.gbps * scale)
         if self.kind == "collective":
             nodes = self._nodes(n_nodes, minimum=2)
-            return gpu_allreduce_traffic(nodes, gbps_per_pair=gbps)
+            return gpu_allreduce_batch(nodes, gbps_per_pair=gbps)
         if self.kind == "gpu-hbm":
             nodes = self._nodes(n_nodes)
-            mem = self._memory_nodes(n_nodes, nodes)
-            return [Flow(gpu, mem[i % len(mem)], gbps, kind="gpu-hbm")
-                    for i, gpu in enumerate(nodes)]
+            mem = np.asarray(self._memory_nodes(n_nodes, nodes),
+                             dtype=np.int64)
+            return FlowBatch(
+                src=np.asarray(nodes, dtype=np.int64),
+                dst=mem[np.arange(len(nodes)) % len(mem)],
+                gbps=np.full(len(nodes), gbps), kinds=["gpu-hbm"])
         if self.kind == "cpu-mem":
             nodes = self._nodes(n_nodes)
             mem = self._memory_nodes(n_nodes, nodes)
-            flows = cpu_memory_traffic(nodes, mem, rng=rng)
-            return [Flow(f.src, f.dst, max(0.01, f.gbps * scale),
-                         kind=f.kind) for f in flows]
+            base = cpu_memory_batch(nodes, mem, rng=rng)
+            return FlowBatch(src=base.src, dst=base.dst,
+                             gbps=np.maximum(0.01, base.gbps * scale),
+                             kinds=base.kinds,
+                             kind_codes=base.kind_codes)
         # "cori-replay": resample per-node utilization each epoch and
         # convert it to CPU->memory Gbps against the resource's peak.
         from repro.workloads.cori import CORI_PROFILES
@@ -221,12 +243,15 @@ class Episode:
         profile = CORI_PROFILES[resource]
         peak_gbps = float(self.params.get("peak_gbps", 1096.0))
         nodes = self._nodes(n_nodes)
-        mem = self._memory_nodes(n_nodes, nodes)
-        utilization = profile.sample(len(nodes), rng)
-        return [Flow(cpu, mem[i % len(mem)],
-                     max(0.01, float(u) * peak_gbps * scale),
-                     kind="cori-replay")
-                for i, (cpu, u) in enumerate(zip(nodes, utilization))]
+        mem = np.asarray(self._memory_nodes(n_nodes, nodes),
+                         dtype=np.int64)
+        utilization = np.asarray(profile.sample(len(nodes), rng),
+                                 dtype=np.float64)
+        return FlowBatch(
+            src=np.asarray(nodes, dtype=np.int64),
+            dst=mem[np.arange(len(nodes)) % len(mem)],
+            gbps=np.maximum(0.01, utilization * peak_gbps * scale),
+            kinds=["cori-replay"])
 
     # -- node-set helpers ------------------------------------------------------
 

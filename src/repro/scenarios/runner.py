@@ -187,9 +187,10 @@ class ScenarioRunner:
                 else:
                     report.events_ignored += 1
             if self.seeding == "sequential":
-                batch = self.scenario.batch(epoch, rng)
+                batch = self.scenario.flow_batch(epoch, rng)
             else:
-                batch = self.scenario.batch_at(epoch, base_seed=seed)
+                batch = self.scenario.flow_batch_at(epoch,
+                                                    base_seed=seed)
             report.epochs.append(self.backend.step(batch))
         return report
 

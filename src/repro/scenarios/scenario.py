@@ -34,7 +34,7 @@ from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
-from repro.network.traffic import Flow, as_generator
+from repro.network.traffic import Flow, FlowBatch, as_generator
 from repro.scenarios.episodes import Episode
 
 #: Seeding modes the runners accept.
@@ -139,13 +139,20 @@ class Scenario:
 
         Draws from the caller's ``rng`` in place — the *sequential*
         seeding mode. Use :meth:`batch_at` for the shardable
-        per-epoch-seed mode.
+        per-epoch-seed mode. Object-path compatibility view over
+        :meth:`flow_batch` (same flows, same RNG consumption).
         """
-        flows: list[Flow] = []
-        for episode in self.episodes:
-            flows.extend(episode.generate(epoch, self.n_epochs,
-                                          self.n_nodes, rng))
-        return flows
+        return self.flow_batch(epoch, rng).to_flows()
+
+    def flow_batch(self, epoch: int,
+                   rng: np.random.Generator) -> FlowBatch:
+        """All active episodes' flows for one epoch as one
+        structure-of-arrays :class:`~repro.network.traffic.FlowBatch`
+        (the object-free hot path the runner feeds backends)."""
+        return FlowBatch.concat([
+            episode.generate_batch(epoch, self.n_epochs,
+                                   self.n_nodes, rng)
+            for episode in self.episodes])
 
     def batches(self, rng) -> list[list[Flow]]:
         """Materialize every epoch's batch from one threaded generator
@@ -167,6 +174,12 @@ class Scenario:
         in this process or another.
         """
         return self.batch(epoch, self.epoch_rng(epoch, base_seed))
+
+    def flow_batch_at(self, epoch: int,
+                      base_seed: int = 0) -> FlowBatch:
+        """One epoch's :class:`FlowBatch` under counter-based
+        per-epoch seeding (object-free twin of :meth:`batch_at`)."""
+        return self.flow_batch(epoch, self.epoch_rng(epoch, base_seed))
 
     def batches_range(self, start: int, stop: int,
                       base_seed: int = 0) -> list[list[Flow]]:

@@ -198,7 +198,7 @@ def execute_chunk(scenario_config: dict, backend: str,
                 applied += 1
             else:
                 ignored += 1
-        report = fabric.step(scenario.batch_at(epoch, base_seed))
+        report = fabric.step(scenario.flow_batch_at(epoch, base_seed))
         report.epoch = epoch  # absolute, not chunk-relative
         reports.append(report)
     end_state = fabric.snapshot() if boundary == "carry" else None

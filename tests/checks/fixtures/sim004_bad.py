@@ -24,3 +24,22 @@ class Unstable:
 
     def to_dict(self):
         return {int(k): list(v) for k, v in self._pairs.items()}
+
+
+class BareArrayBatch:
+    """Array-backed batch whose to_dict leaks the ndarray fields."""
+
+    src: np.ndarray
+    gbps: np.ndarray | None
+
+    def __init__(self, src, gbps):
+        self.src = np.asarray(src)
+        self.gbps = np.asarray(gbps)
+        self.codes: np.ndarray = np.zeros(len(self.src), dtype=np.int64)
+
+    def to_dict(self):
+        return {
+            "src": self.src,
+            "gbps": self.gbps,
+            "codes": self.codes,
+        }

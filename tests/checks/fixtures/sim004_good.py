@@ -23,3 +23,22 @@ class Stable:
 
     def to_dict(self):
         return {str(k): list(v) for k, v in self._pairs.items()}
+
+
+class ArrayBatch:
+    """Array-backed batch serialized the JSON-stable way."""
+
+    src: np.ndarray
+    gbps: np.ndarray | None
+
+    def __init__(self, src, gbps):
+        self.src = np.asarray(src)
+        self.gbps = np.asarray(gbps)
+        self.codes: np.ndarray = np.zeros(len(self.src), dtype=np.int64)
+
+    def to_dict(self):
+        return {
+            "src": self.src.tolist(),
+            "gbps": self.gbps.tolist(),
+            "codes": self.codes.tolist(),
+        }

@@ -94,11 +94,28 @@ class TestSIM004Details:
     def test_flags_each_unstable_construct(self):
         messages = [f.message
                     for f in check_fixture("sim004_bad", "SIM004")]
-        assert len(messages) == 6
+        assert len(messages) == 9
         for needle in ("set()", "tuple value", "ndarray",
                        "numpy scalar", "non-string dict key",
                        "int() dict key"):
             assert any(needle in m for m in messages), needle
+
+    def test_flags_every_bare_ndarray_field(self):
+        # BareArrayBatch annotates src / gbps (class body) and codes
+        # (annotated self-assignment) as ndarrays and returns all
+        # three bare from to_dict() — each must be named.
+        messages = [f.message
+                    for f in check_fixture("sim004_bad", "SIM004")]
+        for attr in ("self.src", "self.gbps", "self.codes"):
+            assert any(f"{attr} serialized bare" in m
+                       for m in messages), attr
+
+    def test_tolist_serialization_is_stable(self):
+        # sim004_good's ArrayBatch serializes the same ndarray fields
+        # via .tolist(); the pair test already asserts zero findings,
+        # this documents that the batch idiom is the reason.
+        source = (FIXTURES / "sim004_good.py").read_text()
+        assert ".tolist()" in source
 
 
 class TestPY001Details:
