@@ -16,8 +16,10 @@ from repro.checks.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.checks.concurrency import ModuleSummary, ProjectIndex
 from repro.checks.context import ModuleContext
 from repro.checks.engine import (
+    STALE_SUPPRESSION_RULE,
     CheckReport,
     ParseError,
     check_file,
@@ -28,7 +30,14 @@ from repro.checks.engine import (
 )
 from repro.checks.findings import Finding
 from repro.checks.report import render_json, render_rules, render_text
-from repro.checks.rules import RULES, Rule, register
+from repro.checks.rules import (
+    PROJECT_RULES,
+    RULES,
+    ProjectRule,
+    Rule,
+    register,
+    register_project,
+)
 
 __all__ = [
     "BaselineComparison",
@@ -36,9 +45,14 @@ __all__ = [
     "DEFAULT_BASELINE",
     "Finding",
     "ModuleContext",
+    "ModuleSummary",
     "ParseError",
+    "PROJECT_RULES",
+    "ProjectIndex",
+    "ProjectRule",
     "RULES",
     "Rule",
+    "STALE_SUPPRESSION_RULE",
     "check_file",
     "check_source",
     "compare",
@@ -46,6 +60,7 @@ __all__ = [
     "iter_python_files",
     "load_baseline",
     "register",
+    "register_project",
     "render_json",
     "render_rules",
     "render_text",

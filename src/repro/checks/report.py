@@ -5,8 +5,8 @@ from __future__ import annotations
 import json
 
 from repro.checks.baseline import BaselineComparison
-from repro.checks.engine import CheckReport
-from repro.checks.rules import RULES
+from repro.checks.engine import STALE_SUPPRESSION_RULE, CheckReport
+from repro.checks.rules import PROJECT_RULES, RULES
 
 
 def render_text(report: CheckReport, comparison: BaselineComparison,
@@ -50,6 +50,10 @@ def render_json(report: CheckReport,
 
 def render_rules() -> str:
     """The rule catalog, one line per rule."""
-    width = max(len(rule_id) for rule_id in RULES)
-    return "\n".join(f"{rule_id:<{width}}  {rule.summary}"
-                     for rule_id, rule in sorted(RULES.items()))
+    catalog = {rule_id: rule.summary
+               for rule_id, rule in {**RULES, **PROJECT_RULES}.items()}
+    catalog[STALE_SUPPRESSION_RULE] = (
+        "stale suppression directives (via --strict-suppressions)")
+    width = max(len(rule_id) for rule_id in catalog)
+    return "\n".join(f"{rule_id:<{width}}  {summary}"
+                     for rule_id, summary in sorted(catalog.items()))

@@ -16,6 +16,11 @@ from repro.checks.findings import Finding
 #: rule_id -> rule singleton, populated by :func:`register`.
 RULES: dict[str, "Rule"] = {}
 
+#: rule_id -> project-wide rule singleton (pass 2), populated by
+#: :func:`register_project`. Keyed in the same namespace as
+#: :data:`RULES` — ``--select`` draws from the union.
+PROJECT_RULES: dict[str, "ProjectRule"] = {}
+
 
 class Rule:
     rule_id: str = ""
@@ -25,13 +30,35 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """A cross-file rule: runs once over the merged
+    :class:`~repro.checks.concurrency.ProjectIndex` instead of per
+    module. Findings must anchor on non-``index_only`` modules."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check_project(self, project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
 def register(cls: type[Rule]) -> type[Rule]:
     """Class decorator adding one instance to :data:`RULES`."""
     if not cls.rule_id:
         raise ValueError(f"{cls.__name__} needs a rule_id")
-    if cls.rule_id in RULES:
+    if cls.rule_id in RULES or cls.rule_id in PROJECT_RULES:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
     RULES[cls.rule_id] = cls()
+    return cls
+
+
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding one instance to :data:`PROJECT_RULES`."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} needs a rule_id")
+    if cls.rule_id in RULES or cls.rule_id in PROJECT_RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    PROJECT_RULES[cls.rule_id] = cls()
     return cls
 
 
@@ -43,4 +70,6 @@ from repro.checks.rules import (  # noqa: E402,F401
     protocol,
     jsonstable,
     defaults,
+    locks,
+    twins,
 )

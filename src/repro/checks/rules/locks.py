@@ -1,0 +1,473 @@
+"""SIM005 — lock discipline over the project-wide concurrency index.
+
+For every class that owns a lock attribute (``threading.Lock`` /
+``RLock`` / ``Condition`` or the :mod:`repro.checks.runtime`
+factories), the rule:
+
+* infers the **guarded-by set** of each lock — every attribute
+  written (or mutated in place) under ``with self.<lock>:`` anywhere
+  outside construction is guarded by that lock;
+* flags any **unguarded write** to a guarded attribute, wherever it
+  happens — including cross-object writes (``session.attr = ...``)
+  when ``attr`` uniquely belongs to one lock-owning class;
+* flags **unguarded reads** of guarded attributes, but only in
+  methods reachable from a thread entry point (``Thread(target=...)``
+  seeds, followed through unambiguous call edges) — single-threaded
+  reads are not races;
+* treats private methods whose *every* in-class call site holds a
+  lock as holding it too (**caller-held inference**, to fixpoint), so
+  ``_claim_id``-style helpers need no annotation;
+* flags ``Condition.wait()`` not wrapped in a loop re-checking its
+  predicate (lost/spurious wakeups; ``wait_for`` is exempt) and
+  ``notify``/``notify_all`` without the owning lock held;
+* builds the inter-class **lock acquisition graph** (lock identities
+  are ``Class.attr``; edges follow held-sets and unambiguous call
+  chains) and reports any cycle as a deadlock-order finding.
+
+All reasoning is name-based and deliberately conservative: ambiguous
+method names (``to_dict``, ``restore``) resolve to nothing and stop
+the analysis rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.checks.classinfo import INIT_METHODS
+from repro.checks.concurrency import (ClassSummary, ModuleSummary,
+                                      ProjectIndex)
+from repro.checks.findings import Finding
+from repro.checks.rules import ProjectRule, register_project
+
+
+def _effective_held(cls: ClassSummary) -> dict[str, frozenset]:
+    """Per-method extra ``self.<lock>`` expressions via caller-held
+    inference: a private, non-thread-target method called only with a
+    lock held effectively holds it. Iterated to fixpoint so chains of
+    private helpers propagate."""
+    eff = {name: frozenset() for name in cls.methods}
+    candidates = [name for name in cls.methods
+                  if name.startswith("_") and not name.startswith("__")
+                  and name not in cls.thread_targets]
+    self_locks = {f"self.{attr}" for attr in cls.locks}
+    changed = True
+    while changed:
+        changed = False
+        for name in candidates:
+            sites = [(caller, call)
+                     for caller in cls.methods.values()
+                     for call in caller.calls
+                     if call.owner == "self" and call.name == name]
+            if not sites:
+                continue
+            held_sets = [frozenset(call.held) | eff[caller.name]
+                         for caller, call in sites]
+            new = frozenset.intersection(*held_sets) & self_locks
+            if new != eff[name]:
+                eff[name] = new
+                changed = True
+    return eff
+
+
+def _holds(access_held, eff_extra, lock_expr: str) -> bool:
+    return lock_expr in access_held or lock_expr in eff_extra
+
+
+def _guarded_sets(cls: ClassSummary,
+                  eff: dict[str, frozenset]) -> dict[str, set]:
+    """lock attr -> attributes written under it (outside construction)."""
+    guarded: dict[str, set] = {attr: set() for attr in cls.locks}
+    for method in cls.methods.values():
+        if method.name in INIT_METHODS:
+            continue
+        for access in method.accesses:
+            if access.owner != "self" or access.kind != "write":
+                continue
+            if access.attr in cls.locks:
+                continue
+            for lock in cls.locks:
+                if _holds(access.held, eff[method.name],
+                          f"self.{lock}"):
+                    guarded[lock].add(access.attr)
+    return guarded
+
+
+class _Analysis:
+    """Per-class derived facts, shared by the sub-checks."""
+
+    def __init__(self, mod: ModuleSummary, cls: ClassSummary) -> None:
+        self.mod = mod
+        self.cls = cls
+        self.eff = _effective_held(cls)
+        self.guarded = _guarded_sets(cls, self.eff)
+        #: attr -> lock attrs guarding it.
+        self.guards_of: dict[str, set] = {}
+        for lock, attrs in self.guarded.items():
+            for attr in attrs:
+                self.guards_of.setdefault(attr, set()).add(lock)
+
+
+@register_project
+class LockDiscipline(ProjectRule):
+    rule_id = "SIM005"
+    summary = ("lock discipline: guarded-attribute access, "
+               "wait/notify usage, deadlock-free lock order")
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        analyses: dict[str, _Analysis] = {}
+        for mod in project.modules:
+            if mod.is_test:
+                continue
+            for cls in mod.classes:
+                if cls.locks:
+                    # First definition wins on duplicate class names —
+                    # mirrors resolve_method's uniqueness discipline.
+                    analyses.setdefault(cls.name, _Analysis(mod, cls))
+        if not analyses:
+            return []
+        #: guarded attr -> owning class names (cross-object checks
+        #: only fire when the attr belongs to exactly one class and no
+        #: other class even writes an attr of that name).
+        attr_owners: dict[str, set] = {}
+        for analysis in analyses.values():
+            for attr in analysis.guards_of:
+                attr_owners.setdefault(attr, set()).add(
+                    analysis.cls.name)
+        other_writers = self._self_write_surface(project, analyses)
+        reachable = self._reachable_methods(project)
+        findings: dict[str, Finding] = {}
+
+        def emit(finding: Finding) -> None:
+            findings.setdefault(finding.fingerprint, finding)
+
+        for analysis in analyses.values():
+            if not analysis.mod.index_only:
+                self._check_class(analysis, reachable, emit)
+        self._check_cross_object(project, analyses, attr_owners,
+                                 other_writers, reachable, emit)
+        self._check_lock_order(project, analyses, emit)
+        return sorted(findings.values())
+
+    # -- guarded-attribute discipline (same-class) -----------------------------
+
+    def _check_class(self, analysis: _Analysis, reachable, emit) -> None:
+        mod, cls = analysis.mod, analysis.cls
+        seen: set[tuple] = set()
+        for method in cls.methods.values():
+            if method.name in INIT_METHODS:
+                continue
+            in_thread = (cls.name, method.name) in reachable
+            for access in method.accesses:
+                if access.owner != "self":
+                    continue
+                locks = analysis.guards_of.get(access.attr)
+                if not locks:
+                    continue
+                if any(_holds(access.held, analysis.eff[method.name],
+                              f"self.{lock}") for lock in locks):
+                    continue
+                if access.kind == "read" and not in_thread:
+                    continue
+                dedup = (method.name, access.attr, access.kind)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                lock_names = " or ".join(
+                    f"self.{lock}" for lock in sorted(locks))
+                why = ("written" if access.kind == "write" else
+                       "read (reachable from a thread entry point)")
+                emit(Finding(
+                    path=mod.path, line=access.line, col=access.col,
+                    rule=self.rule_id,
+                    key=f"{cls.name}.{method.name}.{access.attr}"
+                        f":{access.kind}",
+                    message=f"guarded attribute self.{access.attr} "
+                            f"{why} without holding {lock_names} "
+                            f"in {cls.name}.{method.name}()"))
+            self._check_wait_notify(analysis, method, emit)
+
+    def _check_wait_notify(self, analysis: _Analysis, method, emit) -> None:
+        mod, cls = analysis.mod, analysis.cls
+        conditions = {f"self.{attr}" for attr, kind in cls.locks.items()
+                      if kind == "condition"}
+        for wait in method.waits:
+            if wait.is_wait_for or wait.expr not in conditions:
+                continue
+            if not wait.in_loop:
+                emit(Finding(
+                    path=mod.path, line=wait.line, col=wait.col,
+                    rule=self.rule_id,
+                    key=f"{cls.name}.{method.name}:wait:{wait.expr}",
+                    message=f"{wait.expr}.wait() outside a predicate "
+                            f"loop in {cls.name}.{method.name}() — "
+                            "spurious wakeups make bare wait() "
+                            "incorrect; re-check the condition in a "
+                            "while loop or use wait_for()"))
+        for notify in method.notifies:
+            if notify.expr not in conditions:
+                continue
+            if not _holds(notify.held, analysis.eff[method.name],
+                          notify.expr):
+                emit(Finding(
+                    path=mod.path, line=notify.line, col=notify.col,
+                    rule=self.rule_id,
+                    key=f"{cls.name}.{method.name}:notify:{notify.expr}",
+                    message=f"{notify.expr}.notify called without "
+                            f"holding {notify.expr} in "
+                            f"{cls.name}.{method.name}()"))
+
+    # -- cross-object discipline -----------------------------------------------
+
+    def _self_write_surface(self, project, analyses) -> dict[str, set]:
+        """attr -> every class that self-writes or declares it
+        (guarded or not); used to refuse cross-object checks on
+        ambiguous attr names — two classes sharing a field name means
+        ``other.attr`` can't be attributed to either."""
+        writers: dict[str, set] = {}
+        for mod in project.modules:
+            if mod.is_test:
+                continue
+            for cls in mod.classes:
+                for attr in cls.declared:
+                    writers.setdefault(attr, set()).add(cls.name)
+                for method in cls.methods.values():
+                    for access in method.accesses:
+                        if (access.owner == "self"
+                                and access.kind == "write"):
+                            writers.setdefault(access.attr, set()).add(
+                                cls.name)
+        return writers
+
+    def _check_cross_object(self, project, analyses, attr_owners,
+                            other_writers, reachable, emit) -> None:
+        for mod in project.modules:
+            if mod.is_test or mod.index_only:
+                continue
+            for cls in mod.classes:
+                for method in cls.methods.values():
+                    in_thread = (cls.name, method.name) in reachable
+                    seen: set[tuple] = set()
+                    for access in method.accesses:
+                        if access.owner == "self":
+                            continue
+                        owners = attr_owners.get(access.attr, set())
+                        # Unique ownership only: exactly one class
+                        # guards the attr AND no other class writes
+                        # an attr of the same name.
+                        if (len(owners) != 1 or len(
+                                other_writers.get(access.attr, set())
+                                - owners) > 0):
+                            continue
+                        owner_cls = next(iter(owners))
+                        if owner_cls == cls.name:
+                            continue
+                        if access.kind == "read" and not in_thread:
+                            continue
+                        analysis = analyses[owner_cls]
+                        locks = analysis.guards_of[access.attr]
+                        if any(f"{access.owner}.{lock}" in access.held
+                               for lock in locks):
+                            continue
+                        dedup = (method.name, access.owner,
+                                 access.attr, access.kind)
+                        if dedup in seen:
+                            continue
+                        seen.add(dedup)
+                        lock_names = " or ".join(
+                            f"{access.owner}.{lock}"
+                            for lock in sorted(locks))
+                        emit(Finding(
+                            path=mod.path, line=access.line,
+                            col=access.col, rule=self.rule_id,
+                            key=f"{cls.name}.{method.name}."
+                                f"{access.owner}.{access.attr}"
+                                f":x{access.kind}",
+                            message=f"{access.owner}.{access.attr} "
+                                    f"({owner_cls}'s guarded "
+                                    f"attribute) {access.kind} without "
+                                    f"holding {lock_names} in "
+                                    f"{cls.name}.{method.name}()"))
+
+    # -- thread-entry reachability ---------------------------------------------
+
+    def _reachable_methods(self, project: ProjectIndex) -> set:
+        """(class, method) pairs reachable from any Thread target,
+        following self-calls and uniquely-resolvable cross-class calls."""
+        seeds: list[tuple] = []
+        for mod in project.modules:
+            for cls in mod.classes:
+                for target in cls.thread_targets:
+                    if target in cls.methods:
+                        seeds.append((cls.name, target))
+            for target in mod.thread_target_names:
+                resolved = project.resolve_method(target)
+                if resolved is not None:
+                    seeds.append((resolved[1].name, target))
+        reachable: set = set()
+        stack = list(seeds)
+        by_name = {name: pairs[0][1]
+                   for name, pairs in project.classes.items()
+                   if len(pairs) == 1}
+        while stack:
+            cls_name, method_name = stack.pop()
+            if (cls_name, method_name) in reachable:
+                continue
+            reachable.add((cls_name, method_name))
+            cls = by_name.get(cls_name)
+            if cls is None or method_name not in cls.methods:
+                continue
+            for call in cls.methods[method_name].calls:
+                if call.owner == "self" and call.name in cls.methods:
+                    stack.append((cls_name, call.name))
+                elif call.owner != "self":
+                    resolved = project.resolve_method(call.name)
+                    if resolved is not None:
+                        stack.append((resolved[1].name, call.name))
+        return reachable
+
+    # -- lock-order graph ------------------------------------------------------
+
+    def _lock_identity(self, expr: str, cls: ClassSummary,
+                       analyses) -> str | None:
+        """"self._lock" in SessionPool -> "SessionPool._lock";
+        "session.updated" -> "Session.updated" when ``updated`` is the
+        lock attr of exactly one lock-owning class."""
+        root, _, attr = expr.partition(".")
+        if not attr or "." in attr:
+            return None
+        if root == "self":
+            return f"{cls.name}.{attr}" if attr in cls.locks else None
+        owners = [a.cls.name for a in analyses.values()
+                  if attr in a.cls.locks]
+        return f"{owners[0]}.{attr}" if len(owners) == 1 else None
+
+    def _check_lock_order(self, project, analyses, emit) -> None:
+        # Per-method direct acquisitions, then a call-closure fixpoint
+        # so "holding A, call method that takes B" contributes A -> B.
+        direct: dict[tuple, set] = {}
+        sites: dict[tuple, tuple] = {}  # edge -> (path, line, col)
+        method_cls: dict[tuple, ClassSummary] = {}
+        for mod in project.modules:
+            if mod.is_test or mod.index_only:
+                continue
+            for cls in mod.classes:
+                for method in cls.methods.values():
+                    key = (cls.name, method.name)
+                    method_cls[key] = cls
+                    acquired = set()
+                    for acq in method.acquires:
+                        ident = self._lock_identity(acq.expr, cls,
+                                                    analyses)
+                        if ident is not None:
+                            acquired.add(ident)
+                    direct.setdefault(key, set()).update(acquired)
+        closure = {key: set(value) for key, value in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, cls in method_cls.items():
+                for call in cls.methods[key[1]].calls:
+                    callee = None
+                    if call.owner == "self" and call.name in cls.methods:
+                        callee = (key[0], call.name)
+                    elif call.owner != "self":
+                        resolved = project.resolve_method(call.name)
+                        if resolved is not None:
+                            callee = (resolved[1].name, call.name)
+                    if callee is None or callee not in closure:
+                        continue
+                    before = len(closure[key])
+                    closure[key] |= closure[callee]
+                    if len(closure[key]) > before:
+                        changed = True
+        edges: dict[tuple, tuple] = {}
+        for mod in project.modules:
+            if mod.is_test or mod.index_only:
+                continue
+            for cls in mod.classes:
+                for method in cls.methods.values():
+                    eff = (analyses[cls.name].eff[method.name]
+                           if cls.name in analyses
+                           and analyses[cls.name].cls is cls
+                           else frozenset())
+                    for acq in method.acquires:
+                        ident = self._lock_identity(
+                            acq.expr, cls, analyses)
+                        if ident is None:
+                            continue
+                        held_ids = self._held_identities(
+                            acq.held, eff, cls, analyses)
+                        for held in held_ids:
+                            if held != ident:
+                                edges.setdefault(
+                                    (held, ident),
+                                    (mod.path, acq.line, acq.col))
+                    for call in method.calls:
+                        callee = None
+                        if (call.owner == "self"
+                                and call.name in cls.methods):
+                            callee = (cls.name, call.name)
+                        elif call.owner != "self":
+                            resolved = project.resolve_method(call.name)
+                            if resolved is not None:
+                                callee = (resolved[1].name, call.name)
+                        if callee is None:
+                            continue
+                        held_ids = self._held_identities(
+                            call.held, eff, cls, analyses)
+                        for held in held_ids:
+                            for inner in closure.get(callee, ()):
+                                if inner != held:
+                                    edges.setdefault(
+                                        (held, inner),
+                                        (mod.path, call.line, call.col))
+        cycle = _find_cycle(edges)
+        if cycle:
+            path, line, col = edges[(cycle[0], cycle[1])]
+            loop = " -> ".join(cycle + [cycle[0]])
+            emit(Finding(
+                path=path, line=line, col=col, rule=self.rule_id,
+                key="lock-order-cycle:" + "->".join(sorted(set(cycle))),
+                message=f"lock acquisition cycle {loop} — threads "
+                        "taking these locks in different orders can "
+                        "deadlock; pick one global order"))
+
+    def _held_identities(self, held, eff, cls, analyses) -> set:
+        out = set()
+        for expr in tuple(held) + tuple(eff):
+            ident = self._lock_identity(expr, cls, analyses)
+            if ident is not None:
+                out.add(ident)
+        return out
+
+
+def _find_cycle(edges: dict) -> list | None:
+    """Any one cycle in the lock graph, as an ordered node list."""
+    adjacency: dict[str, list] = {}
+    for (src, dst) in edges:
+        adjacency.setdefault(src, []).append(dst)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+    trail: list = []
+
+    def dfs(node: str):
+        color[node] = GRAY
+        trail.append(node)
+        for nxt in sorted(adjacency.get(node, [])):
+            state = color.get(nxt, WHITE)
+            if state == GRAY:
+                return trail[trail.index(nxt):]
+            if state == WHITE:
+                found = dfs(nxt)
+                if found:
+                    return found
+        trail.pop()
+        color[node] = BLACK
+        return None
+
+    for start in sorted(adjacency):
+        if color.get(start, WHITE) == WHITE:
+            found = dfs(start)
+            if found:
+                return found
+    return None

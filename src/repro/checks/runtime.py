@@ -1,0 +1,331 @@
+"""Runtime lock sanitizer — the dynamic counterpart of SIM005.
+
+``repro.service`` creates its locks through the :func:`new_lock` /
+:func:`new_condition` factory seam. Unarmed (the default), the
+factories return plain :mod:`threading` primitives with zero
+overhead. With ``REPRO_SANITIZE=1`` they return
+:class:`SanitizedLock` / :class:`SanitizedCondition` wrappers that
+
+* track each thread's lock-acquisition stack and record the global
+  acquisition-order graph (nodes are lock *names*, so every
+  ``Session.updated`` instance is one node, matching SIM005's
+  static lock identities);
+* report a **lock-order inversion** the moment two locks are ever
+  taken in both orders — the deadlock is caught even if the
+  interleaving that would hang never happens in this run;
+* assert declared guarded attributes (see :func:`watch_guarded`) are
+  only read/written with their lock held.
+
+Violations are recorded and surfaced via
+:meth:`Sanitizer.assert_clean` — raising inside a worker thread would
+be swallowed by the pool's crash-recovery path, so the CI stress job
+hammers a sanitized pool and asserts a clean ledger at the end.
+``REPRO_SANITIZE=strict`` raises immediately instead (unit tests).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+
+class LockDisciplineError(AssertionError):
+    """A recorded lock-discipline violation (strict mode raises it)."""
+
+
+def armed() -> bool:
+    """True when ``REPRO_SANITIZE`` is set (and not "0")."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def strict() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "") == "strict"
+
+
+class Sanitizer:
+    """Acquisition-order graph + guarded-attribute violation ledger."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        #: (held name, acquired name) -> thread name first observing it.
+        self.edges: dict[tuple, str] = {}
+        self._adjacency: dict[str, set] = {}
+        self.violations: list[str] = []
+
+    # -- per-thread held stack -------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def on_acquire(self, lock) -> None:
+        stack = self._stack()
+        if not any(held is lock for held in stack):
+            outer = {held.name for held in stack
+                     if held.name != lock.name}
+            if outer:
+                with self._mutex:
+                    for name in sorted(outer):
+                        self._add_edge(name, lock.name)
+        stack.append(lock)
+
+    def on_release(self, lock) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    def on_wait(self, lock) -> None:
+        """``Condition.wait`` releases the lock entirely."""
+        stack = self._stack()
+        stack[:] = [held for held in stack if held is not lock]
+
+    def on_wake(self, lock, count: int) -> None:
+        """Reacquisition after wait — re-enters the held stack (and
+        the order graph, though the edge necessarily already exists)."""
+        self.on_acquire(lock)
+        for _ in range(count - 1):
+            self._stack().append(lock)
+
+    # -- the order graph -------------------------------------------------------
+
+    def _add_edge(self, outer: str, inner: str) -> None:
+        # Caller holds self._mutex.
+        if (outer, inner) in self.edges:
+            return
+        if self._reaches(inner, outer):
+            first = next(
+                (f"{a} -> {b} (thread {t})"
+                 for (a, b), t in self.edges.items()
+                 if self._on_path(inner, outer, a, b)), "earlier")
+            self._record_locked(
+                f"lock-order inversion: thread "
+                f"{threading.current_thread().name} acquires {inner} "
+                f"while holding {outer}, but the opposite order was "
+                f"already observed ({first})")
+        self.edges[(outer, inner)] = threading.current_thread().name
+        self._adjacency.setdefault(outer, set()).add(inner)
+
+    def _reaches(self, src: str, dst: str) -> bool:
+        seen, stack = set(), [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._adjacency.get(node, ()))
+        return False
+
+    def _on_path(self, src: str, dst: str, a: str, b: str) -> bool:
+        return self._reaches(src, a) and self._reaches(b, dst)
+
+    # -- the ledger ------------------------------------------------------------
+
+    def record(self, message: str) -> None:
+        with self._mutex:
+            self._record_locked(message)
+
+    def _record_locked(self, message: str) -> None:
+        self.violations.append(message)
+        if strict():
+            raise LockDisciplineError(message)
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            summary = "\n  ".join(self.violations[:20])
+            raise LockDisciplineError(
+                f"{len(self.violations)} lock-discipline violation(s)"
+                f":\n  {summary}")
+
+    def reset(self) -> None:
+        with self._mutex:
+            self.edges.clear()
+            self._adjacency.clear()
+            self.violations.clear()
+
+
+_default = Sanitizer()
+
+
+def get_sanitizer() -> Sanitizer:
+    """The process-wide sanitizer the factories default to."""
+    return _default
+
+
+class SanitizedLock:
+    """Reentrant lock wrapper feeding the sanitizer."""
+
+    def __init__(self, name: str,
+                 sanitizer: Sanitizer | None = None) -> None:
+        self.name = name
+        self._san = sanitizer or get_sanitizer()
+        self._inner = threading.RLock()
+        self._owner: int | None = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._owner = threading.get_ident()
+            self._count += 1
+            self._san.on_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        self._san.on_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def held_by_me(self) -> bool:
+        return self._owner == threading.get_ident()
+
+
+class SanitizedCondition(threading.Condition):
+    """``threading.Condition`` feeding the sanitizer.
+
+    Subclasses the real Condition (so ``wait_for``, timeouts, and the
+    RLock ownership semantics are the stdlib's) and instruments the
+    enter/exit/wait/notify surface.
+    """
+
+    def __init__(self, name: str,
+                 sanitizer: Sanitizer | None = None) -> None:
+        super().__init__()
+        self.name = name
+        self._san = sanitizer or get_sanitizer()
+        self._owner: int | None = None
+        self._count = 0
+
+    def _note_acquired(self) -> None:
+        self._owner = threading.get_ident()
+        self._count += 1
+        self._san.on_acquire(self)
+
+    def _note_released(self) -> None:
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        self._san.on_release(self)
+
+    def __enter__(self) -> "SanitizedCondition":
+        super().__enter__()
+        self._note_acquired()
+        return self
+
+    def __exit__(self, *exc):
+        self._note_released()
+        return super().__exit__(*exc)
+
+    def acquire(self, *args) -> bool:
+        ok = super().acquire(*args)
+        if ok:
+            self._note_acquired()
+        return ok
+
+    def release(self) -> None:
+        self._note_released()
+        super().release()
+
+    def held_by_me(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        if not self.held_by_me():
+            self._san.record(
+                f"{self.name}.wait() without holding the lock")
+        saved_count, saved_owner = self._count, self._owner
+        self._owner, self._count = None, 0
+        self._san.on_wait(self)
+        try:
+            return super().wait(timeout)
+        finally:
+            self._owner, self._count = saved_owner, saved_count
+            self._san.on_wake(self, max(saved_count, 1))
+
+    # wait_for() inherits and calls self.wait() — already covered.
+
+    def notify(self, n: int = 1) -> None:
+        if not self.held_by_me():
+            self._san.record(
+                f"{self.name}.notify called without holding the lock")
+        super().notify(n)
+
+    # notify_all() inherits and calls self.notify() — already covered.
+
+
+def new_lock(name: str, sanitizer: Sanitizer | None = None):
+    """A lock: plain ``threading.RLock`` unarmed, sanitized when
+    ``REPRO_SANITIZE`` is set. ``name`` is the lock's identity in the
+    order graph — use the static form ``Class.attr`` so runtime edges
+    line up with SIM005's."""
+    if armed():
+        return SanitizedLock(name, sanitizer)
+    return threading.RLock()
+
+
+def new_condition(name: str, sanitizer: Sanitizer | None = None):
+    """A condition variable: plain ``threading.Condition`` unarmed,
+    sanitized when ``REPRO_SANITIZE`` is set."""
+    if armed():
+        return SanitizedCondition(name, sanitizer)
+    return threading.Condition()
+
+
+def watch_guarded(obj, lock, write_attrs=(), read_attrs=()):
+    """Arm guarded-attribute assertions on ``obj`` (no-op unarmed).
+
+    ``write_attrs`` must only be *written* with ``lock`` held;
+    ``read_attrs`` (a subset — typically the mutable containers,
+    where torn iteration is the hazard) must also only be *read*
+    with it held. Scalar reads are atomic under the GIL and stay
+    unwatched, mirroring SIM005's reachable-read scope.
+
+    Implemented by swapping ``obj.__class__`` for a one-off subclass
+    intercepting ``__setattr__``/``__getattribute__`` — isinstance
+    checks still hold and the object is untouched when the sanitizer
+    is unarmed (or the lock is an uninstrumented primitive).
+    """
+    if not armed() or not isinstance(
+            lock, (SanitizedLock, SanitizedCondition)):
+        return obj
+    base = type(obj)
+    writes = frozenset(write_attrs) | frozenset(read_attrs)
+    reads = frozenset(read_attrs)
+    sanitizer = lock._san
+
+    def __setattr__(self, name, value):
+        if name in writes and not lock.held_by_me():
+            sanitizer.record(
+                f"guarded attribute {base.__name__}.{name} written "
+                f"without holding {lock.name}")
+        object.__setattr__(self, name, value)
+
+    def __getattribute__(self, name):
+        if name in reads and not lock.held_by_me():
+            sanitizer.record(
+                f"guarded attribute {base.__name__}.{name} read "
+                f"without holding {lock.name}")
+        return object.__getattribute__(self, name)
+
+    watched = type(f"_Sanitized{base.__name__}", (base,), {
+        "__setattr__": __setattr__,
+        "__getattribute__": __getattribute__,
+    })
+    obj.__class__ = watched
+    return obj

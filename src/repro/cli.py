@@ -410,9 +410,18 @@ def _cmd_check(args: argparse.Namespace) -> None:
         paths = [default if default.is_dir()
                  else Path(__file__).resolve().parent]
     rules = [r.upper() for r in args.select] if args.select else None
+    # Project rules (SIM005/SIM006) resolve names and twin-test
+    # evidence across the whole repo: index the test tree when it is
+    # not already among the checked paths.
+    index_paths = []
+    tests_dir = Path("tests")
+    if tests_dir.is_dir():
+        index_paths.append(tests_dir)
     try:
-        report = checks.run_checks(paths, rules=([] if args.parse_only
-                                                 else rules))
+        report = checks.run_checks(
+            paths, rules=([] if args.parse_only else rules),
+            jobs=args.jobs, index_paths=index_paths,
+            strict_suppressions=args.strict_suppressions)
     except KeyError as exc:
         raise SystemExit(f"check: {exc.args[0]}") from None
     if args.parse_only:
@@ -649,6 +658,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--show-baselined", action="store_true",
                            help="also print findings covered by the "
                                 "baseline")
+            p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="parse and per-file-check N files in "
+                                "parallel (default: 1)")
+            p.add_argument("--strict-suppressions",
+                           action="store_true",
+                           help="report suppression directives that "
+                                "no longer match any finding (SUP001)")
     sub.add_parser("all", help="run every experiment in paper order")
     return parser
 

@@ -158,7 +158,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_healthz(self, parts, query) -> None:
         self._send_json({"status": "ok",
-                         "sessions": len(self.pool.sessions)})
+                         "sessions": self.pool.live_count()})
 
     def _get_metrics(self, parts, query) -> None:
         self._send_json(self.pool.metrics())

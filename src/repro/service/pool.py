@@ -33,6 +33,7 @@ import threading
 import time
 from collections import deque
 
+from repro.checks.runtime import new_condition, watch_guarded
 from repro.scenarios.library import get_scenario
 from repro.scenarios.scenario import Scenario
 from repro.service.sessions import (Session, SessionStore,
@@ -77,7 +78,7 @@ class SessionPool:
         self.max_retries = max_retries
         self.sessions: dict[str, Session] = {}
         self._queue: deque[str] = deque()
-        self._lock = threading.Condition()
+        self._lock = new_condition("SessionPool._lock")
         self._threads: list[threading.Thread] = []
         self._running = False
         self._next_id = 1
@@ -90,6 +91,14 @@ class SessionPool:
         self._epochs_total = 0
         self._slices_total = 0
         self._recoveries_total = 0
+        # Under REPRO_SANITIZE, assert the pool's own lock discipline
+        # at runtime (see repro.checks.runtime).
+        watch_guarded(
+            self, self._lock,
+            write_attrs=("_running", "_next_id", "_started_s",
+                         "_epochs_total", "_slices_total",
+                         "_recoveries_total"),
+            read_attrs=("sessions", "_queue", "_failures"))
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -195,7 +204,10 @@ class SessionPool:
                     "nothing to suspend")
             if session.state == "suspended":
                 return session
-            session.suspend_requested = True
+            # Pool lock, then session lock: the one global order
+            # (never the reverse — SIM005 checks the graph).
+            with session.updated:
+                session.suspend_requested = True
             try:
                 self._queue.remove(session_id)
             except ValueError:
@@ -244,7 +256,8 @@ class SessionPool:
                     f"stored session {session_id!r} is "
                     f"{session.state}, not suspended")
         with self._lock:
-            session.suspend_requested = False
+            with session.updated:
+                session.suspend_requested = False
             session._set_state("queued")
             session.submitted_s = time.perf_counter()
             self.sessions[session_id] = session
@@ -283,7 +296,8 @@ class SessionPool:
             session = self.sessions.pop(session_id, None)
             if session is not None:
                 found = True
-                session.suspend_requested = True
+                with session.updated:
+                    session.suspend_requested = True
                 try:
                     self._queue.remove(session_id)
                 except ValueError:
@@ -318,19 +332,21 @@ class SessionPool:
                     continue
                 session.state = "running"
                 session.updated.notify_all()
-            start_cursor = session.cursor
+                start_cursor = session.cursor
             try:
                 if self.fault_hook is not None:
                     self.fault_hook(session)
                 session.advance(self.slice_epochs)
             except Exception as exc:  # noqa: BLE001 - worker survival
                 session.recover()
+                with session.updated:
+                    cursor_now = session.cursor
                 with self._lock:
                     self._recoveries_total += 1
                     # Net the books against what this slice actually
                     # kept: rollback below the slice start un-counts
                     # epochs a previous slice recorded.
-                    self._epochs_total += session.cursor - start_cursor
+                    self._epochs_total += cursor_now - start_cursor
                     count = self._failures.get(session.session_id, 0) + 1
                     self._failures[session.session_id] = count
                 if count > self.max_retries:
@@ -341,27 +357,34 @@ class SessionPool:
                         self._queue.append(session.session_id)
                         self._lock.notify_all()
                 continue
-            self._failures.pop(session.session_id, None)
+            with session.updated:
+                cursor_now = session.cursor
+                suspend_pending = session.suspend_requested
             with self._lock:
+                self._failures.pop(session.session_id, None)
                 session.slices += 1
                 self._slices_total += 1
-                self._epochs_total += session.cursor - start_cursor
-                if (session.first_epoch_s is None and session.cursor
+                self._epochs_total += cursor_now - start_cursor
+                if (session.first_epoch_s is None and cursor_now
                         and session.submitted_s is not None):
                     session.first_epoch_s = time.perf_counter()
             if session.done:
                 continue
-            if session.suspend_requested:
+            session._set_state("queued")
+            if suspend_pending:
                 # suspend()/delete() owns the next transition; just
                 # park it out of the running state.
-                session._set_state("queued")
                 continue
-            session._set_state("queued")
             with self._lock:
                 self._queue.append(session.session_id)
                 self._lock.notify_all()
 
     # -- telemetry -------------------------------------------------------------
+
+    def live_count(self) -> int:
+        """Number of live (in-memory) sessions."""
+        with self._lock:
+            return len(self.sessions)
 
     def metrics(self) -> dict:
         """Fleet-wide counters for ``GET /metrics``."""

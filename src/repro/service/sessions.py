@@ -38,9 +38,9 @@ from __future__ import annotations
 
 import copy
 import json
-import threading
 from dataclasses import dataclass, field, replace
 
+from repro.checks.runtime import new_condition, watch_guarded
 from repro.scenarios.backends import EpochReport, make_backend
 from repro.scenarios.runner import ScenarioReport, ScenarioRunner
 from repro.scenarios.scenario import Scenario, ScenarioEvent
@@ -124,12 +124,21 @@ class Session:
         self._runner: ScenarioRunner | None = None
         #: Condition notified on every appended epoch and every state
         #: change — what SSE streams and pool waiters block on.
-        self.updated = threading.Condition()
+        self.updated = new_condition("Session.updated")
         self.suspend_requested = False
         # Telemetry (perf_counter marks, set by the pool; excluded
         # from the serialized record so records stay deterministic).
         self.submitted_s: float | None = None
         self.first_epoch_s: float | None = None
+        # Under REPRO_SANITIZE, assert the lock discipline SIM005
+        # checks statically: every listed attribute is written (and
+        # the mutable containers also read) only under ``updated``.
+        watch_guarded(
+            self, self.updated,
+            write_attrs=("state", "cursor", "events_applied",
+                         "events_ignored", "error", "recoveries",
+                         "suspend_requested", "_backend", "_runner"),
+            read_attrs=("reports", "event_counts", "checkpoints"))
 
     # -- factories -------------------------------------------------------------
 
@@ -169,27 +178,34 @@ class Session:
         newest checkpoint at or before the cursor and replayed forward
         to it — so attachment is exact wherever the cursor sits.
         """
-        if self._backend is not None:
-            return self._backend
+        with self.updated:
+            if self._backend is not None:
+                return self._backend
+            cursor = self.cursor
+            anchors = [e for e in self.checkpoints if e <= cursor]
+            at = max(anchors) if anchors else 0
+            snap = (json_roundtrip(self.checkpoints[at])
+                    if anchors else None)
+        # Construct/restore/replay outside the lock — the expensive
+        # part — then commit the attachment under it. Only the owning
+        # worker attaches, so the double build this could allow never
+        # happens in practice (and would be benign: last one wins).
         backend = make_backend(self.backend_name,
                                self.scenario.n_nodes,
                                seed=self.base_seed,
                                **self.backend_params)
         runner = ScenarioRunner(self.scenario, backend)
-        at = 0
-        anchors = [e for e in self.checkpoints if e <= self.cursor]
-        if anchors:
-            at = max(anchors)
-            backend.restore(json_roundtrip(self.checkpoints[at]))
-        if at < self.cursor:
+        if snap is not None:
+            backend.restore(snap)
+        if at < cursor:
             # Replay the gap (crash between checkpoints); reports for
             # these epochs already exist, so discard the duplicates.
-            runner.step_epochs(at, self.cursor, seed=self.base_seed)
+            runner.step_epochs(at, cursor, seed=self.base_seed)
         with self.updated:
             if 0 not in self.checkpoints and self.cursor == 0:
                 self.checkpoints[0] = backend.snapshot()
-        self._backend = backend
-        self._runner = runner
+            self._backend = backend
+            self._runner = runner
         return backend
 
     def advance(self, max_epochs: int) -> int:
@@ -204,12 +220,15 @@ class Session:
         if max_epochs < 1:
             raise ValueError("max_epochs must be >= 1")
         backend = self._attach()
-        ran = 0
-        while (ran < max_epochs and self.cursor < self.n_epochs
-               and not self.suspend_requested):
+        with self.updated:
+            runner = self._runner
             epoch = self.cursor
-            delta = self._runner.step_epochs(epoch, epoch + 1,
-                                             seed=self.base_seed)
+            stop_requested = self.suspend_requested
+        ran = 0
+        while (ran < max_epochs and epoch < self.n_epochs
+               and not stop_requested):
+            delta = runner.step_epochs(epoch, epoch + 1,
+                                       seed=self.base_seed)
             payload = delta.epochs[0].to_dict()
             with self.updated:
                 self.reports.append(payload)
@@ -222,11 +241,14 @@ class Session:
                         or self.cursor == self.n_epochs):
                     self.checkpoints[self.cursor] = backend.snapshot()
                 self.updated.notify_all()
+                epoch = self.cursor
+                stop_requested = self.suspend_requested
             ran += 1
-        if self.cursor >= self.n_epochs and not self.done:
+        if epoch >= self.n_epochs and not self.done:
             self._set_state("completed")
-            self._backend = None
-            self._runner = None
+            with self.updated:
+                self._backend = None
+                self._runner = None
         return ran
 
     def recover(self) -> int:
@@ -269,8 +291,9 @@ class Session:
 
     def fail(self, error: str) -> None:
         """Mark the session terminally failed."""
-        self._backend = None
-        self._runner = None
+        with self.updated:
+            self._backend = None
+            self._runner = None
         self._set_state("failed", error=error)
 
     # -- suspend / resume ------------------------------------------------------
@@ -304,7 +327,16 @@ class Session:
             self.updated.notify_all()
 
     def to_dict(self) -> dict:
-        """JSON-stable session record (the suspend/store payload)."""
+        """JSON-stable session record (the suspend/store payload).
+
+        Takes the session lock (reentrant for callers already holding
+        it) so the reports/checkpoints containers can't be mutated
+        mid-serialization by a worker thread.
+        """
+        with self.updated:
+            return self._to_dict_locked()
+
+    def _to_dict_locked(self) -> dict:
         return {
             "format": SESSION_FORMAT,
             "session_id": self.session_id,

@@ -1,0 +1,53 @@
+"""SIM005 fixture: broken lock discipline. Never imported."""
+
+import threading
+
+
+class LeakyQueue:
+    """Guarded attribute touched outside its lock, bad wait/notify."""
+
+    def __init__(self):
+        self._leaky_lock = threading.Condition()
+        self.depth = 0
+        self._worker = threading.Thread(target=self._drain_loop)
+
+    def push(self):
+        with self._leaky_lock:
+            self.depth += 1          # establishes depth as guarded
+            self._leaky_lock.notify_all()
+
+    def clear(self):
+        self.depth = 0               # BAD: guarded write, lock not held
+
+    def wait_once(self):
+        with self._leaky_lock:
+            self._leaky_lock.wait()  # BAD: bare wait, no predicate loop
+
+    def poke(self):
+        self._leaky_lock.notify_all()  # BAD: notify without the lock
+
+    def _drain_loop(self):
+        while self.depth:            # BAD: thread-reachable unguarded read
+            pass
+
+
+class PingSide:
+    """Half of a two-class lock-order cycle."""
+
+    def __init__(self):
+        self._ping_lock = threading.Lock()
+
+    def ping(self, other):
+        with self._ping_lock:
+            with other._pong_lock:   # BAD: opposite order of pong()
+                pass
+
+
+class PongSide:
+    def __init__(self):
+        self._pong_lock = threading.Lock()
+
+    def pong(self, other):
+        with self._pong_lock:
+            with other._ping_lock:
+                pass

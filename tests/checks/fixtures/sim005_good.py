@@ -1,0 +1,57 @@
+"""SIM005 fixture: disciplined locking. Never imported."""
+
+import threading
+
+
+class TidyQueue:
+    """Every guarded access holds the lock; wait/notify by the book."""
+
+    def __init__(self):
+        self._tidy_lock = threading.Condition()
+        self.depth = 0
+        self._worker = threading.Thread(target=self._drain_loop)
+
+    def push(self):
+        with self._tidy_lock:
+            self.depth += 1
+            self._tidy_lock.notify_all()
+
+    def clear(self):
+        with self._tidy_lock:
+            self._reset()
+
+    def wait_for_work(self):
+        with self._tidy_lock:
+            while not self.depth:
+                self._tidy_lock.wait()
+
+    def _reset(self):
+        # Private helper: every call site holds the lock, so the
+        # caller-held inference covers this write without annotation.
+        self.depth = 0
+
+    def _drain_loop(self):
+        with self._tidy_lock:
+            if self.depth:
+                self._reset()
+
+
+class FirstSide:
+    """Two classes taking both locks in one consistent global order."""
+
+    def __init__(self):
+        self._first_lock = threading.Lock()
+
+    def forward(self, other):
+        with self._first_lock:
+            with other._second_lock:
+                pass
+
+
+class SecondSide:
+    def __init__(self):
+        self._second_lock = threading.Lock()
+
+    def serve(self):
+        with self._second_lock:
+            pass

@@ -150,3 +150,66 @@ class TestReports:
     def test_unknown_rule_selection_raises(self):
         with pytest.raises(KeyError, match="NOPE"):
             check_source("x = 1\n", "x.py", rules=["NOPE"])
+
+
+class TestParallelJobs:
+    def test_jobs_match_serial_results(self, tmp_path):
+        (tmp_path / "a.py").write_text(BAD_DEFAULT)
+        (tmp_path / "b.py").write_text(
+            "import threading\n\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._box_lock = threading.Lock()\n"
+            "        self.items_held = 0\n\n"
+            "    def put(self):\n"
+            "        with self._box_lock:\n"
+            "            self.items_held += 1\n\n"
+            "    def wipe(self):\n"
+            "        self.items_held = 0\n")
+        (tmp_path / "c.py").write_text("x = 1\n")
+        serial = run_checks([tmp_path], jobs=1)
+        parallel = run_checks([tmp_path], jobs=3)
+        assert ([f.fingerprint for f in serial.findings]
+                == [f.fingerprint for f in parallel.findings])
+        assert serial.findings  # the fixture tree is not trivially empty
+        assert serial.files == parallel.files == 3
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_checks([tmp_path], jobs=0)
+
+
+class TestStrictSuppressions:
+    def test_stale_directive_reported(self):
+        source = "def f(x):  # repro-check: disable=PY001\n    return x\n"
+        report = check_source(source, "x.py", rules=["PY001"],
+                              strict_suppressions=True)
+        assert [f.rule for f in report.findings] == ["SUP001"]
+        assert "PY001" in report.findings[0].message
+
+    def test_used_directive_not_stale(self):
+        source = ("def f(acc=[]):  # repro-check: disable=PY001\n"
+                  "    return acc\n")
+        report = check_source(source, "x.py", rules=["PY001"],
+                              strict_suppressions=True)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_directive_for_unselected_rule_not_stale(self):
+        # PY001 didn't run, so the engine can't know whether the
+        # directive still suppresses anything — stay quiet.
+        source = "def f(x):  # repro-check: disable=PY001\n    return x\n"
+        report = check_source(source, "x.py", rules=["SIM002"],
+                              strict_suppressions=True)
+        assert report.findings == []
+
+    def test_stale_file_level_directive_reported(self):
+        source = "# repro-check: disable-file=PY001\nx = 1\n"
+        report = check_source(source, "x.py", rules=["PY001"],
+                              strict_suppressions=True)
+        assert [f.key for f in report.findings] == [
+            "stale:disable-file=PY001"]
+
+    def test_off_by_default(self):
+        source = "def f(x):  # repro-check: disable=PY001\n    return x\n"
+        assert check_source(source, "x.py", rules=["PY001"]).findings == []

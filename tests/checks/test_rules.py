@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.checks import RULES, check_file
+from repro.checks import PROJECT_RULES, RULES, check_file, check_source
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -14,6 +14,8 @@ RULE_FIXTURES = [
     ("SIM002", "sim002"),
     ("SIM003", "sim003"),
     ("SIM004", "sim004"),
+    ("SIM005", "sim005"),
+    ("SIM006", "sim006"),
     ("PY001", "py001"),
 ]
 
@@ -36,7 +38,8 @@ class TestFixturePairs:
 
 
 def test_every_registered_rule_has_a_fixture_pair():
-    assert sorted(RULES) == sorted(r for r, _ in RULE_FIXTURES)
+    assert (sorted({**RULES, **PROJECT_RULES})
+            == sorted(r for r, _ in RULE_FIXTURES))
 
 
 class TestSIM001Details:
@@ -123,3 +126,108 @@ class TestPY001Details:
         keys = {f.key for f in check_fixture("py001_bad", "PY001")}
         assert keys == {"accumulate.acc", "merge.base", "merge.tags",
                         "build.rows"}
+
+
+class TestSIM005Details:
+    def test_flags_each_discipline_breach(self):
+        keys = {f.key for f in check_fixture("sim005_bad", "SIM005")}
+        assert keys == {
+            "LeakyQueue.clear.depth:write",
+            "LeakyQueue._drain_loop.depth:read",
+            "LeakyQueue.wait_once:wait:self._leaky_lock",
+            "LeakyQueue.poke:notify:self._leaky_lock",
+            "lock-order-cycle:"
+            "PingSide._ping_lock->PongSide._pong_lock",
+        }
+
+    def test_caller_held_inference_covers_private_helpers(self):
+        # sim005_good's _reset() writes the guarded attr with no lock
+        # in sight; it stays clean only because every call site holds
+        # the lock. Adding an unguarded call site must re-flag it.
+        source = (FIXTURES / "sim005_good.py").read_text()
+        patched = source.replace(
+            "    def _drain_loop(self):",
+            "    def sneak(self):\n"
+            "        self._reset()\n\n"
+            "    def _drain_loop(self):")
+        findings = check_source(patched, "sim005_good.py",
+                                rules=["SIM005"]).findings
+        assert any(f.key == "TidyQueue._reset.depth:write"
+                   for f in findings)
+
+    def test_cross_object_write_requires_owning_lock(self):
+        source = """
+import threading
+
+class Owner:
+    def __init__(self):
+        self._owner_lock = threading.Lock()
+        self.jobs_live = 0
+
+    def bump(self):
+        with self._owner_lock:
+            self.jobs_live += 1
+
+class Driver:
+    def poke(self, owner):
+        owner.jobs_live = 0
+
+    def poke_locked(self, owner):
+        with owner._owner_lock:
+            owner.jobs_live = 0
+"""
+        keys = {f.key for f in
+                check_source(source, "mod.py",
+                             rules=["SIM005"]).findings}
+        assert keys == {"Driver.poke.owner.jobs_live:xwrite"}
+
+
+class TestSIM006Details:
+    def test_missing_oracle_keys(self):
+        keys = {f.key for f in check_fixture("sim006_bad", "SIM006")}
+        assert keys == {"BatchOnlyFabric.batch_step:oracle",
+                        "BulkOnlyRouter.route_tokens:oracle"}
+
+    SRC = '''
+class Fabric:
+    def step(self, flow):
+        return flow
+
+    def batch_step(self, flows):
+        return [self.step(f) for f in flows]
+'''
+    TWIN_TEST = '''
+from fabric import Fabric
+
+def test_batch_step_matches_step():
+    fabric = Fabric()
+    assert fabric.batch_step([1]) == [fabric.step(1)]
+'''
+    OTHER_TEST = '''
+from fabric import Fabric
+
+def test_scalar_only():
+    assert Fabric().step(1) == 1
+'''
+
+    def test_twin_test_evidence_satisfies(self):
+        report = check_source(
+            self.SRC, "src/fabric.py",
+            rules=["SIM006"],
+            index_sources={"tests/test_fabric.py": self.TWIN_TEST})
+        assert report.findings == []
+
+    def test_missing_twin_test_flagged(self):
+        report = check_source(
+            self.SRC, "src/fabric.py",
+            rules=["SIM006"],
+            index_sources={"tests/test_fabric.py": self.OTHER_TEST})
+        assert [f.key for f in report.findings] == [
+            "Fabric.batch_step:twin-test"]
+
+    def test_no_test_modules_means_no_twin_test_check(self):
+        # Single-file runs can't see the test tree; only the missing-
+        # oracle half of the rule may fire.
+        report = check_source(self.SRC, "src/fabric.py",
+                              rules=["SIM006"])
+        assert report.findings == []

@@ -1,0 +1,235 @@
+"""Runtime lock sanitizer: order-inversion detection, guarded-attr
+assertions, and the unarmed zero-overhead path."""
+
+import threading
+
+import pytest
+
+from repro.checks.runtime import (
+    LockDisciplineError,
+    Sanitizer,
+    SanitizedCondition,
+    SanitizedLock,
+    new_condition,
+    new_lock,
+    watch_guarded,
+)
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    return Sanitizer()
+
+
+@pytest.fixture
+def strict(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "strict")
+    return Sanitizer()
+
+
+class TestFactorySeam:
+    def test_unarmed_returns_plain_primitives(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not isinstance(new_lock("A"), SanitizedLock)
+        assert not isinstance(new_condition("B"), SanitizedCondition)
+
+    def test_armed_returns_sanitized(self, armed):
+        assert isinstance(new_lock("A", armed), SanitizedLock)
+        assert isinstance(new_condition("B", armed), SanitizedCondition)
+
+    def test_zero_means_unarmed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not isinstance(new_lock("A"), SanitizedLock)
+
+
+class TestLockOrder:
+    def run_in_thread(self, fn):
+        thread = threading.Thread(target=fn)
+        thread.start()
+        thread.join()
+
+    def test_inversion_recorded_across_threads(self, armed):
+        a = SanitizedLock("A", armed)
+        b = SanitizedLock("B", armed)
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        self.run_in_thread(forward)
+        self.run_in_thread(backward)
+        assert len(armed.violations) == 1
+        assert "inversion" in armed.violations[0]
+        with pytest.raises(LockDisciplineError):
+            armed.assert_clean()
+
+    def test_transitive_inversion_recorded(self, armed):
+        a, b, c = (SanitizedLock(n, armed) for n in "ABC")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        def backward():
+            with c:
+                with a:
+                    pass
+
+        self.run_in_thread(backward)
+        assert any("inversion" in v for v in armed.violations)
+
+    def test_consistent_order_is_clean(self, armed):
+        a = SanitizedLock("A", armed)
+        b = SanitizedCondition("B", armed)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        self.run_in_thread(lambda: a.__enter__() and a.__exit__())
+        armed.assert_clean()
+        assert ("A", "B") in armed.edges
+
+    def test_reentrant_acquire_is_not_an_edge(self, armed):
+        a = SanitizedLock("A", armed)
+        with a:
+            with a:
+                pass
+        armed.assert_clean()
+        assert not armed.edges
+
+    def test_same_name_instances_share_a_node(self, armed):
+        # Two Session.updated instances are one static lock identity:
+        # pool->s1 then s2->pool must still count as an inversion.
+        pool = SanitizedLock("SessionPool._lock", armed)
+        s1 = SanitizedCondition("Session.updated", armed)
+        s2 = SanitizedCondition("Session.updated", armed)
+        with pool:
+            with s1:
+                pass
+        self.run_in_thread(lambda: s2.__enter__() and pool.__enter__())
+        assert any("inversion" in v for v in armed.violations)
+
+    def test_strict_raises_immediately(self, strict):
+        a = SanitizedLock("A", strict)
+        b = SanitizedLock("B", strict)
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockDisciplineError):
+            with b:
+                with a:
+                    pass
+
+
+class TestConditionDiscipline:
+    def test_wait_without_lock_recorded(self, armed):
+        cond = SanitizedCondition("C", armed)
+        # Grab the underlying lock from another thread so wait()'s
+        # release attempt doesn't blow up; the sanitizer still logs
+        # the caller's missing ownership first.
+        armed_violations = []
+
+        def bad_wait():
+            try:
+                cond.wait(timeout=0.01)
+            except RuntimeError:
+                pass
+            armed_violations.extend(armed.violations)
+
+        thread = threading.Thread(target=bad_wait)
+        thread.start()
+        thread.join()
+        assert any("wait" in v for v in armed_violations)
+
+    def test_notify_without_lock_recorded(self, armed):
+        cond = SanitizedCondition("C", armed)
+        try:
+            cond.notify_all()
+        except RuntimeError:
+            pass
+        assert any("notify" in v for v in armed.violations)
+
+    def test_wait_releases_and_reacquires_held_stack(self, armed):
+        cond = SanitizedCondition("C", armed)
+        other = SanitizedLock("D", armed)
+        with cond:
+            cond.wait(timeout=0.01)
+            # Post-wait the condition is held again: taking another
+            # lock records the C -> D edge (not an orphan).
+            with other:
+                pass
+        armed.assert_clean()
+        assert ("C", "D") in armed.edges
+
+    def test_disciplined_producer_consumer_is_clean(self, armed):
+        cond = SanitizedCondition("C", armed)
+        items = []
+
+        def producer():
+            with cond:
+                items.append(1)
+                cond.notify_all()
+
+        thread = threading.Thread(target=producer)
+        with cond:
+            thread.start()
+            while not items:
+                cond.wait(timeout=1.0)
+        thread.join()
+        armed.assert_clean()
+
+
+class TestWatchGuarded:
+    class Box:
+        def __init__(self):
+            self.depth = 0
+            self.items = []
+
+    def test_unguarded_write_recorded(self, armed):
+        lock = SanitizedLock("Box._lock", armed)
+        box = watch_guarded(self.Box(), lock, write_attrs=("depth",))
+        box.depth = 1
+        assert any("Box.depth written" in v for v in armed.violations)
+
+    def test_guarded_write_clean(self, armed):
+        lock = SanitizedLock("Box._lock", armed)
+        box = watch_guarded(self.Box(), lock, write_attrs=("depth",))
+        with lock:
+            box.depth = 1
+        armed.assert_clean()
+
+    def test_container_read_requires_lock(self, armed):
+        lock = SanitizedLock("Box._lock", armed)
+        box = watch_guarded(self.Box(), lock, read_attrs=("items",))
+        len(box.items)
+        assert any("Box.items read" in v for v in armed.violations)
+        armed.violations.clear()
+        with lock:
+            len(box.items)
+        armed.assert_clean()
+
+    def test_scalar_reads_stay_unwatched(self, armed):
+        lock = SanitizedLock("Box._lock", armed)
+        box = watch_guarded(self.Box(), lock, write_attrs=("depth",))
+        assert box.depth == 0  # reads of write-only attrs are free
+        armed.assert_clean()
+
+    def test_isinstance_survives_class_swap(self, armed):
+        lock = SanitizedLock("Box._lock", armed)
+        box = watch_guarded(self.Box(), lock, write_attrs=("depth",))
+        assert isinstance(box, self.Box)
+
+    def test_unarmed_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        box = self.Box()
+        assert watch_guarded(box, threading.Lock(),
+                             write_attrs=("depth",)) is box
+        assert type(box) is self.Box

@@ -79,3 +79,46 @@ def test_deleting_any_snapshot_key_fails_sim001(key):
     assert any(f.key == f"AWGRNetworkSimulator.key:{key}"
                for f in report.findings), (
         f"SIM001 stayed quiet after deleting snapshot key {key!r}")
+
+
+TESTS = REPO / "tests"
+
+
+def test_src_repro_clean_with_test_tree_indexed():
+    # The CI gate proper: project rules see the test tree, so
+    # SIM006's twin-test evidence half runs too.
+    report = run_checks([SRC], index_paths=[TESTS])
+    assert report.errors == []
+    assert report.findings == []
+    assert report.indexed > 0
+
+
+def _check_with_tests_minus(src_file: Path, dropped: Path):
+    index = {}
+    for path in sorted(TESTS.rglob("test_*.py")):
+        if path == dropped:
+            continue
+        index[str(path.relative_to(REPO))] = path.read_text()
+    return check_source(src_file.read_text(),
+                        str(src_file.relative_to(REPO.resolve())),
+                        rules=["SIM006"], index_sources=index)
+
+
+@pytest.mark.parametrize("src_file,twin_test,expect_key", [
+    (SRC / "network" / "routing.py",
+     TESTS / "network" / "test_routing.py",
+     "IndirectRouter.route_tokens:twin-test"),
+    (SRC / "scenarios" / "episodes.py",
+     TESTS / "scenarios" / "test_episodes.py",
+     "Episode.generate_batch:twin-test"),
+])
+def test_deleting_a_twin_test_fails_sim006(src_file, twin_test,
+                                           expect_key):
+    # Acceptance criterion: the twin tests are load-bearing. With the
+    # full test tree indexed the file is clean; removing the one
+    # module holding the twin evidence must trip SIM006.
+    clean = _check_with_tests_minus(src_file, dropped=None)
+    assert clean.findings == []
+    report = _check_with_tests_minus(src_file, dropped=twin_test)
+    assert expect_key in {f.key for f in report.findings}, (
+        f"SIM006 stayed quiet with {twin_test.name} deleted")

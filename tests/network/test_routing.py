@@ -128,3 +128,58 @@ class TestConservation:
             if d.kind is not RouteKind.BLOCKED:
                 router.release(d)
         assert alloc.utilization() == 0.0
+
+
+class TestRouteTokensTwin:
+    """route_tokens is the object-free twin of route_flow (SIM006)."""
+
+    KIND_CODE = {RouteKind.DIRECT: 0, RouteKind.INDIRECT: 1,
+                 RouteKind.DOUBLE_INDIRECT: 2, RouteKind.BLOCKED: 3}
+
+    def drive(self, route):
+        """Push one router through direct, indirect and blocked
+        regimes, returning (outcomes, router, allocator)."""
+        router, alloc, _ = make_router(n_nodes=5, planes=1, seed=7)
+        outcomes = []
+        for src, dst in [(0, 1), (0, 1), (0, 1), (0, 1), (0, 1),
+                         (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]:
+            outcomes.append(route(router, src, dst))
+        return outcomes, router, alloc
+
+    def test_bit_identical_outcomes(self):
+        scalar, r_a, alloc_a = self.drive(
+            lambda r, s, d: r.route_flow(s, d))
+        batch, r_b, alloc_b = self.drive(
+            lambda r, s, d: r.route_tokens(s, d))
+        for decision, (code, hops, reservations) in zip(scalar, batch):
+            assert self.KIND_CODE[decision.kind] == code
+            assert decision.hops == hops
+            assert decision.reservations == reservations
+
+    def test_identical_rng_stats_and_occupancy(self):
+        _, r_a, alloc_a = self.drive(lambda r, s, d: r.route_flow(s, d))
+        _, r_b, alloc_b = self.drive(
+            lambda r, s, d: r.route_tokens(s, d))
+        # Same RNG stream consumed, same stats, same mispredictions.
+        assert r_a.snapshot() == r_b.snapshot()
+        # Same allocator mutations, plane for plane.
+        for node in range(5):
+            assert (alloc_a.free_slots_from(node)
+                    == alloc_b.free_slots_from(node)).all()
+            assert (alloc_a.free_slots_to(node)
+                    == alloc_b.free_slots_to(node)).all()
+
+    def test_twin_stays_identical_with_stale_state(self):
+        def drive_stale(route):
+            router, alloc, state = make_router(
+                n_nodes=5, planes=1, update_period=1000, seed=3)
+            alloc.allocate(0, 1)
+            for mid in (2, 3, 4):
+                alloc.allocate(mid, 1)
+            return route(router, 0, 1), router
+
+        decision, r_a = drive_stale(lambda r, s, d: r.route_flow(s, d))
+        tokens, r_b = drive_stale(lambda r, s, d: r.route_tokens(s, d))
+        assert self.KIND_CODE[decision.kind] == tokens[0]
+        assert decision.reservations == tokens[2]
+        assert r_a.snapshot() == r_b.snapshot()

@@ -176,3 +176,38 @@ class TestEpisode:
             flows = Episode(kind=kind, flows=4).generate(0, 10, 8, rng)
             assert isinstance(flows, list)
             assert all(f.src != f.dst for f in flows)
+
+
+class TestGenerateBatchTwin:
+    """generate is the object view of generate_batch (SIM006): same
+    flows, same RNG consumption, for every episode kind."""
+
+    EPISODES = [
+        Episode(kind="uniform", flows={"dist": "poisson", "mean": 12},
+                gbps=20.0),
+        Episode(kind="hotspot", flows=9, params={"hotspot": 3}),
+        Episode(kind="cpu-mem", envelope={"kind": "ramp", "start": 0.2,
+                                          "end": 1.0}, duration=8),
+        Episode(kind="gpu-hbm", params={"nodes": [0, 1, 2]}),
+        Episode(kind="collective", params={"nodes": [1, 3, 5]}),
+        Episode(kind="cori-replay", params={"peak_gbps": 512.0}),
+    ]
+
+    @pytest.mark.parametrize("episode", EPISODES,
+                             ids=[e.kind for e in EPISODES])
+    def test_same_flows_and_rng_stream(self, episode):
+        for epoch in (0, 3, 7):
+            rng_a = np.random.default_rng(42)
+            rng_b = np.random.default_rng(42)
+            flows = episode.generate(epoch, 16, 8, rng_a)
+            batch = episode.generate_batch(epoch, 16, 8, rng_b)
+            assert flows == batch.to_flows()
+            # Both twins consumed the identical RNG stream.
+            assert (rng_a.integers(0, 1 << 30)
+                    == rng_b.integers(0, 1 << 30))
+
+    def test_inactive_epoch_is_empty_in_both(self):
+        episode = Episode(kind="uniform", start=5, duration=2, flows=4)
+        rng = np.random.default_rng(0)
+        assert episode.generate(0, 16, 8, rng) == []
+        assert len(episode.generate_batch(0, 16, 8, rng)) == 0
