@@ -1,0 +1,159 @@
+"""Topology arena — one-pass bake-off vs serial per-backend runs.
+
+Races every registered backend over the same scenario stream twice:
+once as M independent ``ScenarioRunner`` runs (each regenerating the
+epoch traffic), once through ``run_arena``'s single pass (traffic
+generated once per epoch, shared by every contender). Both paths must
+be bit-identical per backend — that equivalence is what licenses the
+one-pass speedup — and the record carries each contender's epoch
+throughput plus the iso-performance / iso-power frontiers for two
+registered scenarios.
+
+As a script this writes ``BENCH_arena.json`` (CI regenerates it in
+``--quick`` mode and fails if the one-pass arena ever gets slower
+than running the backends serially):
+
+    PYTHONPATH=src python benchmarks/bench_arena.py
+    PYTHONPATH=src python benchmarks/bench_arena.py \
+        --quick --out BENCH_arena.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: One-pass wall time must beat the serial total outright: the arena
+#: does strictly less work (one traffic generation per epoch instead
+#: of M), and measures ~1.4x on the quick horizon, so parity already
+#: signals a regression.
+SPEEDUP_FLOOR = 1.0
+
+ARENA_SCENARIOS = ("demo", "diurnal_cori")
+
+
+def race_one(name: str, n_epochs: int, seed: int) -> dict:
+    """Serial runs + one arena pass over one scenario, verified."""
+    from repro.scenarios import (
+        ScenarioRunner,
+        available_backends,
+        make_backend,
+    )
+    from repro.scenarios.arena import run_arena
+    from repro.scenarios.library import get_scenario
+
+    scenario = get_scenario(name).with_epochs(n_epochs)
+    backends = available_backends()
+    solo = {}
+    per_backend = {}
+    serial_s = 0.0
+    for backend in backends:
+        start = time.perf_counter()
+        solo[backend] = ScenarioRunner(
+            scenario,
+            make_backend(backend, scenario.n_nodes, seed=seed),
+        ).run(seed=seed)
+        elapsed = time.perf_counter() - start
+        serial_s += elapsed
+        per_backend[backend] = {
+            "solo_s": elapsed,
+            "epochs_per_s": scenario.n_epochs / max(elapsed, 1e-9),
+        }
+
+    start = time.perf_counter()
+    arena = run_arena(scenario, seed=seed)
+    arena_s = time.perf_counter() - start
+
+    for backend in backends:
+        raced = [e.to_dict() for e in arena.reports[backend].epochs]
+        alone = [e.to_dict() for e in solo[backend].epochs]
+        assert raced == alone, (
+            f"one-pass arena diverged from the solo {backend} run")
+
+    return {
+        "scenario": scenario.name,
+        "n_epochs": scenario.n_epochs,
+        "n_backends": len(backends),
+        "per_backend": per_backend,
+        "serial_s": serial_s,
+        "arena_s": arena_s,
+        "one_pass_speedup": serial_s / max(arena_s, 1e-9),
+        "rows": arena.rows(),
+        "iso_performance": arena.iso_performance(),
+        "iso_power": arena.iso_power(),
+    }
+
+
+def run_suite(quick: bool = False) -> dict:
+    """Race both registered arena scenarios; aggregate the record."""
+    from repro.scenarios import available_backends
+
+    seed = 7
+    # Quick keeps diurnal_cori long enough (16 > 12) that the noon
+    # plane failure still fires inside the race.
+    epochs = ({"demo": 16, "diurnal_cori": 16} if quick
+              else {"demo": 64, "diurnal_cori": 48})
+    scenarios = {name: race_one(name, epochs[name], seed)
+                 for name in ARENA_SCENARIOS}
+    return {
+        "seed": seed,
+        "backends": list(available_backends()),
+        "scenarios": scenarios,
+        "min_one_pass_speedup": min(
+            r["one_pass_speedup"] for r in scenarios.values()),
+    }
+
+
+def test_arena_one_pass():
+    """Quick-mode gate: bit-identity (asserted inside ``race_one``)
+    and one-pass throughput no worse than serial per-backend runs.
+
+    Timed manually (wall clock per path) rather than through the
+    pytest-benchmark fixture because the serial-vs-one-pass
+    comparison *is* the benchmark.
+    """
+    from conftest import emit
+
+    from repro.analysis.report import render_kv
+
+    record = run_suite(quick=True)
+    for name, race in record["scenarios"].items():
+        emit(f"Arena — {name}", render_kv({
+            "n_epochs": race["n_epochs"],
+            "n_backends": race["n_backends"],
+            "serial_s": race["serial_s"],
+            "arena_s": race["arena_s"],
+            "one_pass_speedup": race["one_pass_speedup"],
+            "iso_perf_winner":
+                race["iso_performance"][0]["backend"],
+            "iso_power_winner": race["iso_power"][0]["backend"],
+        }))
+        assert len(race["iso_performance"]) >= 2
+        assert len(race["iso_power"]) >= 2
+    assert record["min_one_pass_speedup"] >= SPEEDUP_FLOOR
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized horizons")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON record here")
+    args = parser.parse_args(argv)
+    record = run_suite(quick=args.quick)
+    print(json.dumps(record, indent=1))
+    if record["min_one_pass_speedup"] < SPEEDUP_FLOOR:
+        print("FAIL: one-pass arena slower than serial per-backend "
+              f"runs (speedup {record['min_one_pass_speedup']:.3f} "
+              f"< {SPEEDUP_FLOOR})", file=sys.stderr)
+        return 1
+    if args.out:
+        Path(args.out).write_text(json.dumps(record, indent=1) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

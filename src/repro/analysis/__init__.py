@@ -2,5 +2,19 @@
 
 from repro.analysis.stats import pearson, summarize, quantiles
 from repro.analysis.report import render_table, render_kv
+from repro.analysis.frontier import (
+    FrontierPoint,
+    iso_performance_frontier,
+    iso_power_frontier,
+)
 
-__all__ = ["pearson", "summarize", "quantiles", "render_table", "render_kv"]
+__all__ = [
+    "FrontierPoint",
+    "iso_performance_frontier",
+    "iso_power_frontier",
+    "pearson",
+    "summarize",
+    "quantiles",
+    "render_table",
+    "render_kv",
+]

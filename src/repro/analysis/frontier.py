@@ -1,0 +1,128 @@
+"""Iso-performance / iso-power frontiers for topology bake-offs.
+
+Generalizes the paper's §VI-E iso-comparison arithmetic
+(:func:`repro.core.isoperf.iso_performance_comparison` scales module
+counts linearly to match a bandwidth target;
+:func:`repro.core.power.rack_power_overhead` prices the provisioned
+fabric) from one photonic-vs-electronic data point to any set of
+arena contenders:
+
+* **iso-performance** — fix the delivered bandwidth at the best
+  contender's (or an explicit target) and ask what provisioned power
+  each topology needs to match it, scaling capacity — and with it
+  power, both linear in provisioned links — by
+  ``target / carried``;
+* **iso-power** — fix the power budget at the leanest contender's
+  (or an explicit budget) and ask what each topology carries inside
+  it, scaling carried bandwidth by ``budget / power``.
+
+Both are first-order frontiers: they assume carried bandwidth and
+provisioned power scale together, which matches how every backend's
+``power_w()`` is built (capacity times an energy-per-bit constant,
+plus per-switch constants that scale with the same fabric size).
+A contender that carried nothing cannot reach any positive target;
+its iso-performance power is reported as ``None`` rather than a
+fake infinity so the JSON stays finite and sortable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FrontierPoint",
+    "iso_performance_frontier",
+    "iso_power_frontier",
+]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One contender's measured (bandwidth, power) operating point."""
+
+    backend: str
+    carried_gbps: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.carried_gbps < 0:
+            raise ValueError("carried_gbps must be >= 0")
+        if self.power_w <= 0:
+            raise ValueError("power_w must be positive")
+
+    @property
+    def gbps_per_watt(self) -> float:
+        """Delivered efficiency at the measured operating point."""
+        return self.carried_gbps / self.power_w
+
+    def as_dict(self) -> dict:
+        """JSON-stable row."""
+        return {"backend": self.backend,
+                "carried_gbps": self.carried_gbps,
+                "power_w": self.power_w,
+                "gbps_per_watt": self.gbps_per_watt}
+
+
+def _check_points(points: list[FrontierPoint]) -> None:
+    if not points:
+        raise ValueError("need at least one frontier point")
+    names = [p.backend for p in points]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate backends in frontier: {names}")
+
+
+def iso_performance_frontier(points: list[FrontierPoint],
+                             target_gbps: float | None = None,
+                             ) -> list[dict]:
+    """Power each contender needs to match a bandwidth target.
+
+    ``target_gbps`` defaults to the best measured carried bandwidth.
+    Each contender's provisioning is scaled by ``target / carried``
+    (the §VI-E move), so its iso-performance power is
+    ``power_w * target / carried`` — ``None`` when it carried
+    nothing. Rows come back cheapest-first: the frontier order.
+    """
+    _check_points(points)
+    if target_gbps is None:
+        target_gbps = max(p.carried_gbps for p in points)
+    if target_gbps < 0:
+        raise ValueError("target_gbps must be >= 0")
+    rows = []
+    for p in points:
+        scale = (target_gbps / p.carried_gbps
+                 if p.carried_gbps > 0 else None)
+        rows.append({
+            **p.as_dict(),
+            "target_gbps": float(target_gbps),
+            "scale": scale,
+            "iso_power_w": (p.power_w * scale
+                            if scale is not None else None),
+        })
+    return sorted(rows, key=lambda r: (r["iso_power_w"] is None,
+                                       r["iso_power_w"]))
+
+
+def iso_power_frontier(points: list[FrontierPoint],
+                       budget_w: float | None = None) -> list[dict]:
+    """Bandwidth each contender carries inside a power budget.
+
+    ``budget_w`` defaults to the leanest measured contender's power.
+    Each contender's provisioning is scaled by ``budget / power``, so
+    its iso-power bandwidth is ``carried_gbps * budget / power``.
+    Rows come back fastest-first: the frontier order.
+    """
+    _check_points(points)
+    if budget_w is None:
+        budget_w = min(p.power_w for p in points)
+    if budget_w <= 0:
+        raise ValueError("budget_w must be positive")
+    rows = []
+    for p in points:
+        scale = budget_w / p.power_w
+        rows.append({
+            **p.as_dict(),
+            "budget_w": float(budget_w),
+            "scale": scale,
+            "iso_carried_gbps": p.carried_gbps * scale,
+        })
+    return sorted(rows, key=lambda r: -r["iso_carried_gbps"])

@@ -333,6 +333,63 @@ def _cmd_scenario(args: argparse.Namespace) -> None:
     print(render_kv(report.as_dict(), title="Aggregate"))
 
 
+def _cmd_arena(args: argparse.Namespace) -> None:
+    from repro.analysis.report import render_table
+    from repro.scenarios import (
+        SCENARIOS,
+        available_backends,
+        backend_info,
+        demo_scenario,
+        get_scenario,
+        run_arena,
+    )
+    if args.list or (not args.scenario and not args.demo):
+        rows = [{"backend": name,
+                 "class": backend_info(name).cls.__name__,
+                 **backend_info(name).capabilities(),
+                 "description": backend_info(name).description}
+                for name in available_backends()]
+        print(render_table(rows, title="Registered backends"))
+        if not args.scenario and not args.demo and not args.list:
+            raise SystemExit(
+                "arena: name a scenario or use --demo / --list")
+        return
+    if args.demo:
+        scenario = demo_scenario()
+    else:
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as exc:
+            raise SystemExit(f"arena: {exc.args[0]}") from None
+    if args.epochs is not None:
+        if args.epochs < 1:
+            raise SystemExit("arena: --epochs must be >= 1")
+        scenario = scenario.with_epochs(args.epochs)
+    backends = None
+    if args.backends:
+        backends = tuple(part.strip()
+                         for part in args.backends.split(",")
+                         if part.strip())
+    try:
+        arena = run_arena(scenario, backends=backends, seed=args.seed)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"arena: {exc.args[0]}") from None
+    print(render_table(
+        arena.rows(),
+        title=f"Arena '{scenario.name}' — {len(arena.backends)} "
+              f"backends, {scenario.n_epochs} epochs, one pass"))
+    print()
+    print(render_table(
+        arena.iso_performance(),
+        title="Iso-performance frontier (power to match the "
+              "fastest)"))
+    print()
+    print(render_table(
+        arena.iso_power(),
+        title="Iso-power frontier (bandwidth inside the leanest "
+              "budget)"))
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.experiments import ResultCache
     from repro.service import ServiceGateway, SessionPool, SessionStore
@@ -470,6 +527,9 @@ _COMMANDS = {
                           "parallel)"),
     "scenario": (_cmd_scenario, "drive a fabric through a time-varying "
                                 "workload scenario"),
+    "arena": (_cmd_arena, "race one scenario through many backends in "
+                          "a single pass and report iso-perf / "
+                          "iso-power frontiers"),
     "check": (_cmd_check, "run the AST invariant linter (snapshot "
                           "completeness, determinism, protocol "
                           "conformance)"),
@@ -488,6 +548,11 @@ _ALL_ORDER = ("table1", "table2", "table3", "table4", "fig5",
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    # One source of truth for backend names: argparse choices/help
+    # derive from the plugin registry, so a newly registered backend
+    # is immediately drivable from every subcommand.
+    from repro.scenarios.registry import available_backends
+    backend_choices = available_backends()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate experiments from 'Efficient Intra-Rack "
@@ -544,8 +609,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="registered scenario name "
                                 "(see --list)")
             p.add_argument("--backend", default="awgr",
-                           choices=("awgr", "wss", "electronic"),
-                           help="fabric backend to drive "
+                           choices=backend_choices,
+                           help="registered fabric backend to drive "
                                 "(default: awgr)")
             p.add_argument("--epochs", type=int, default=None,
                            help="override the scenario's epoch count")
@@ -596,6 +661,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the cache instead of recomputing "
                                 "them (interrupted-run resume / "
                                 "multi-shard assembly)")
+        if name == "arena":
+            p.add_argument("scenario", nargs="?",
+                           help="registered scenario name "
+                                "(see --list)")
+            p.add_argument("--backends", default=None,
+                           help="comma-separated contenders in race "
+                                "order (default: every registered "
+                                f"backend: {','.join(backend_choices)})")
+            p.add_argument("--epochs", type=int, default=None,
+                           help="override the scenario's epoch count")
+            p.add_argument("--seed", type=int, default=0,
+                           help="base RNG seed (default: 0)")
+            p.add_argument("--demo", action="store_true",
+                           help="race the small built-in demo "
+                                "scenario")
+            p.add_argument("--list", action="store_true",
+                           help="list registered backends with their "
+                                "capability flags and exit")
         if name == "serve":
             p.add_argument("--host", default="127.0.0.1",
                            help="bind address (default: 127.0.0.1)")
@@ -621,8 +704,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="gateway base URL (default: "
                                 "http://127.0.0.1:8177)")
             p.add_argument("--backend", default="awgr",
-                           choices=("awgr", "wss", "electronic"),
-                           help="fabric backend (default: awgr)")
+                           choices=backend_choices,
+                           help="registered fabric backend "
+                                "(default: awgr)")
             p.add_argument("--seed", type=int, default=0,
                            help="base RNG seed (default: 0)")
             p.add_argument("--epochs", type=int, default=None,

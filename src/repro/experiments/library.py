@@ -568,6 +568,65 @@ ISOPERF = ExperimentSpec(
     grid={"latency_ns": (35.0,)})
 
 
+# -- §VI-A bandwidth satisfaction and §III-C3 FEC/BER budget -------------------
+
+def bandwidth_analysis_task(config: dict, seed: int) -> dict:
+    """§VI-A case-(A) bandwidth satisfaction, flattened to one row."""
+    from repro.core.bandwidth import awgr_bandwidth_analysis
+
+    report = awgr_bandwidth_analysis()
+    return {
+        "direct_pair_gbps": report.guaranteed_pair_gbps,
+        "cpu_mem_p_sufficient": report.cpu_memory.p_sufficient,
+        "cpu_mem_p_single_wavelength":
+            report.cpu_memory.p_single_wavelength,
+        "nic_mem_p_sufficient": report.nic_memory.p_sufficient,
+        "gpu_indirect_total_gbyte_s":
+            report.gpu_budget.indirect_total_gbyte_s,
+        "after_hbm_gbyte_s": report.gpu_budget.after_hbm_gbyte_s,
+        "after_gpu_gpu_gbyte_s":
+            report.gpu_budget.after_gpu_gpu_gbyte_s,
+        "all_satisfied": report.all_satisfied,
+    }
+
+
+BANDWIDTH_ANALYSIS = ExperimentSpec(
+    name="bandwidth_analysis",
+    description="§VI-A: case (A) direct/indirect bandwidth "
+                "satisfaction per traffic class",
+    factory=bandwidth_analysis_task,
+    metrics=identity_metrics)
+
+
+def fec_ber_task(config: dict, seed: int) -> dict:
+    """§III-C3 FEC/BER budget at one raw-BER grid point."""
+    from repro.photonics.fec import (
+        CXL_LIGHTWEIGHT_FEC,
+        flit_error_rate,
+        retransmission_overhead,
+    )
+
+    raw_ber = config["raw_ber"]
+    return {
+        "raw_ber": raw_ber,
+        "flit_fail": flit_error_rate(raw_ber),
+        "residual_ber": CXL_LIGHTWEIGHT_FEC.residual_ber(raw_ber),
+        "retx_overhead": retransmission_overhead(raw_ber),
+        "meets_1e18": CXL_LIGHTWEIGHT_FEC.meets_memory_ber(raw_ber),
+        "latency_ns_200g": CXL_LIGHTWEIGHT_FEC.total_latency_ns(200.0),
+        "latency_ns_400g": CXL_LIGHTWEIGHT_FEC.total_latency_ns(400.0),
+    }
+
+
+FEC_BER = ExperimentSpec(
+    name="fec_ber",
+    description="§III-C3: lightweight FEC flit-failure suppression "
+                "vs raw BER",
+    factory=fec_ber_task,
+    metrics=identity_metrics,
+    grid={"raw_ber": (1e-4, 1e-6, 1e-8, 1e-10)})
+
+
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in (ABLATION_STALENESS, INDIRECT_ROUTING,
@@ -577,7 +636,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                  FIG5_CONNECTIVITY, POWER_OVERHEAD,
                  FIG6_CPU_SLOWDOWN, FIG8_LATENCY_SENSITIVITY,
                  TABLE4_SWITCH_CONFIGS, FIG12_ELECTRONIC_COMPARISON,
-                 PLACEMENT_BANDWIDTH, CASE_A_VS_CASE_B, ISOPERF)
+                 PLACEMENT_BANDWIDTH, CASE_A_VS_CASE_B, ISOPERF,
+                 BANDWIDTH_ANALYSIS, FEC_BER)
 }
 
 # -- scenario sweeps (time-varying workloads, repro.scenarios) ----------------
@@ -588,6 +648,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
 # from the result cache.
 
 from repro.scenarios.library import (  # noqa: E402
+    arena_metrics,
+    arena_task,
     diurnal_cori_scenario,
     reconfig_lag_scenario,
     scenario_metrics,
@@ -623,9 +685,23 @@ SCENARIO_RECONFIG_LAG = ExperimentSpec(
            "backend": "wss", "rng_seed": 0},
     version=2)
 
+ARENA_FRONTIERS = ExperimentSpec(
+    name="arena_frontiers",
+    description="topology arena: every registered backend raced over "
+                "one shared flow stream per scenario, with iso-perf / "
+                "iso-power frontiers",
+    factory=arena_task,
+    metrics=arena_metrics,
+    grid={"scenario": ("demo", "diurnal_cori")},
+    # Contenders default to available_backends() at run time; after
+    # registering a new backend, bump `version` to retire cached rows
+    # that were raced without it.
+    fixed={"rng_seed": 7})
+
 SCENARIO_EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.name: spec
-    for spec in (SCENARIO_DIURNAL, SCENARIO_RECONFIG_LAG)
+    for spec in (SCENARIO_DIURNAL, SCENARIO_RECONFIG_LAG,
+                 ARENA_FRONTIERS)
 }
 
 EXPERIMENTS.update(SCENARIO_EXPERIMENTS)

@@ -19,7 +19,12 @@ fabric through them:
 * :class:`~repro.scenarios.backends.FabricBackend` — the
   ``step(flows) -> EpochReport`` protocol adapting
   ``AWGRNetworkSimulator``, the WSS fabric, and the electronic
-  comparator behind one interface;
+  comparator behind one interface, with the topology contenders
+  (:mod:`repro.scenarios.topologies`: full mesh, dragonfly) joining
+  through the :mod:`repro.scenarios.registry` plugin registry;
+* :mod:`repro.scenarios.arena` — one-pass bake-off: one scenario's
+  flow stream through every registered backend, with iso-performance
+  / iso-power frontiers per scenario;
 * :class:`~repro.scenarios.runner.ScenarioRunner` — plays a scenario
   against a backend, streaming per-epoch metrics (accepted / blocked
   Gbps, indirect-route fraction, p50/p99 per-flow slowdown) and
@@ -33,14 +38,32 @@ Entry points: ``python -m repro scenario`` and
 ``examples/scenario_demo.py``.
 """
 
+# Import order matters: the registry must exist before the backend
+# modules self-register, and every backend module must have run before
+# BACKENDS is derived below. Any entry path sees the full registry
+# because importing a submodule always executes this package
+# __init__ first.
+from repro.scenarios.registry import (
+    BackendInfo,
+    available_backends,
+    backend_info,
+    make_backend,
+    register_backend,
+)
 from repro.scenarios.backends import (
-    BACKENDS,
     AWGRBackend,
     ElectronicBackend,
     EpochReport,
     FabricBackend,
     WSSBackend,
-    make_backend,
+)
+from repro.scenarios.topologies import (
+    DragonflyBackend,
+    FullMeshBackend,
+)
+from repro.scenarios.arena import (
+    ArenaReport,
+    run_arena,
 )
 from repro.scenarios.episodes import (
     EPISODE_KINDS,
@@ -50,6 +73,8 @@ from repro.scenarios.episodes import (
 )
 from repro.scenarios.library import (
     SCENARIOS,
+    arena_metrics,
+    arena_task,
     demo_scenario,
     diurnal_cori_scenario,
     get_scenario,
@@ -80,17 +105,26 @@ from repro.scenarios.sharding import (
     execute_chunk,
 )
 
+#: Names of every backend registered at import time, sorted. Kept as
+#: a tuple for parametrized tests; :func:`available_backends` is the
+#: live view (it also sees backends registered later).
+BACKENDS = available_backends()
+
 __all__ = [
+    "ArenaReport",
     "AWGRBackend",
     "BACKENDS",
+    "BackendInfo",
     "BOUNDARY_MODES",
     "ChunkKey",
     "ChunkStatus",
+    "DragonflyBackend",
     "ElectronicBackend",
     "EPISODE_KINDS",
     "Episode",
     "EpochReport",
     "FabricBackend",
+    "FullMeshBackend",
     "SCENARIOS",
     "SEEDING_MODES",
     "Scenario",
@@ -100,6 +134,10 @@ __all__ = [
     "ShardedScenarioResult",
     "ShardedScenarioRunner",
     "WSSBackend",
+    "arena_metrics",
+    "arena_task",
+    "available_backends",
+    "backend_info",
     "chunk_backend_seed",
     "chunk_ranges",
     "demo_scenario",
@@ -110,6 +148,8 @@ __all__ = [
     "get_scenario",
     "make_backend",
     "reconfig_lag_scenario",
+    "register_backend",
+    "run_arena",
     "run_replicated",
     "sample_count",
     "scenario_metrics",

@@ -20,6 +20,15 @@ Per-flow *slowdown* is the backend-appropriate service stretch:
 
 Blocked flows (no capacity / zero configured service) are excluded
 from the slowdown distribution and accounted as blocked Gbps instead.
+
+Backends self-register with
+:func:`~repro.scenarios.registry.register_backend`; the topology
+contenders (full mesh, dragonfly) live in
+:mod:`repro.scenarios.topologies` and join the same registry. Each
+backend also exposes ``power_w()`` — the provisioned fabric power the
+arena's iso-performance / iso-power frontiers compare (§VI-C
+transceiver accounting for the photonic fabrics, electrical pJ/bit
+budgets for the comparators).
 """
 
 from __future__ import annotations
@@ -42,10 +51,25 @@ from repro.network.simulator import (
 )
 from repro.network.traffic import Flow, FlowBatch, as_flow_list
 from repro.network.wss_simulator import WSSNetworkSimulator
+from repro.photonics.power import TransceiverPower
+from repro.scenarios.registry import make_backend, register_backend
 from repro.scenarios.scenario import ScenarioEvent
 
-#: Names accepted by :func:`make_backend`.
-BACKENDS = ("awgr", "wss", "electronic")
+__all__ = [
+    "AWGRBackend", "ElectronicBackend", "EpochReport", "FabricBackend",
+    "WSSBackend", "make_backend",
+]
+
+#: Electrical SerDes + switch-traversal energy charged to the
+#: electronic comparators' provisioned capacity (vs. the 0.5 pJ/bit
+#: photonic transceiver budget of §VI-C) — the same order the paper
+#: cites for electrical interconnect in §II-B.
+ELECTRICAL_PJ_PER_BIT = 10.0
+
+#: Active power of one WSS switch plus its share of the centralized
+#: scheduler, within the paper's <= 1 kW bound for all parallel
+#: switches (§VI-C).
+WSS_SWITCH_W = 200.0
 
 
 @dataclass
@@ -163,6 +187,10 @@ class FabricBackend(Protocol):
         ...
 
 
+@register_backend(
+    "awgr",
+    description="case (A): passive AWGR planes + indirect routing",
+    seed_param="rng_seed")
 @dataclass
 class AWGRBackend:
     """Case (A): passive AWGR planes + distributed indirect routing.
@@ -265,6 +293,20 @@ class AWGRBackend:
             return True
         return False
 
+    def power_w(self) -> float:
+        """Provisioned fabric power (W) for frontier comparisons.
+
+        The AWGR itself is passive (§III), so the budget is the §VI-C
+        transceiver accounting: one always-on 0.5 pJ/bit transceiver
+        per provisioned wavelength — ``n_nodes * (n_nodes - 1)``
+        source-destination wavelengths per plane. Config-level by
+        design: plane failures change carried bandwidth, not the
+        provisioned power draw.
+        """
+        capacity = (self.n_nodes * (self.n_nodes - 1) * self.planes
+                    * self.gbps_per_wavelength)
+        return TransceiverPower().power_w(capacity)
+
     def snapshot(self) -> dict:
         return {"backend": self.name, "epoch": self._epoch,
                 "sim": self.sim.snapshot()}
@@ -278,6 +320,9 @@ class AWGRBackend:
         self.sim.restore(state["sim"])
 
 
+@register_backend(
+    "wss",
+    description="case (B): reconfigurable WSS bank + scheduler")
 @dataclass
 class WSSBackend:
     """Case (B): reconfigurable WSS bank + centralized scheduler.
@@ -424,6 +469,21 @@ class WSSBackend:
             return True
         return False
 
+    def power_w(self) -> float:
+        """Provisioned fabric power (W) for frontier comparisons.
+
+        0.5 pJ/bit transceivers on every provisioned switch-port
+        wavelength, plus the active WSS switches themselves (the
+        paper's <= 1 kW all-switches bound, apportioned per switch).
+        Config-level: uses the provisioned ``n_switches``, not the
+        currently healthy bank.
+        """
+        capacity = (self.n_switches * self.n_nodes
+                    * self.wavelengths_per_port
+                    * self.gbps_per_wavelength)
+        return (TransceiverPower().power_w(capacity)
+                + WSS_SWITCH_W * self.n_switches)
+
     def snapshot(self) -> dict:
         # reconfig_period lives on the backend (events mutate it) and
         # the switch bank / lag settings on the fabric.
@@ -443,6 +503,10 @@ class WSSBackend:
         self.fabric.restore(state["fabric"])
 
 
+@register_backend(
+    "electronic",
+    description="§VI-D comparator: per-endpoint electronic lane caps",
+    fail_plane=False)
 @dataclass
 class ElectronicBackend:
     """§VI-D comparator: electronic tree with per-endpoint lane caps.
@@ -531,6 +595,14 @@ class ElectronicBackend:
     def apply_event(self, event: ScenarioEvent) -> bool:
         return False
 
+    def power_w(self) -> float:
+        """Provisioned fabric power (W) for frontier comparisons:
+        every endpoint's lanes charged at the electrical pJ/bit
+        budget, always on — the mirror of the photonic accounting."""
+        capacity = self.n_nodes * self.endpoint_gbps
+        return TransceiverPower(
+            pj_per_bit=ELECTRICAL_PJ_PER_BIT).power_w(capacity)
+
     def snapshot(self) -> dict:
         # Lane caps are pure functions of the configuration
         # (ELECTRONIC_CATALOG is immutable), so the epoch counter is
@@ -543,19 +615,3 @@ class ElectronicBackend:
                 f"snapshot is for backend {state.get('backend')!r}, "
                 f"not {self.name!r}")
         self._epoch = int(state["epoch"])
-
-
-def make_backend(name: str, n_nodes: int, seed: int = 0,
-                 **params) -> FabricBackend:
-    """Construct a backend by name with keyword overrides.
-
-    ``seed`` feeds the AWGR backend's router RNG; the other backends
-    are deterministic given their inputs and ignore it.
-    """
-    if name == "awgr":
-        return AWGRBackend(n_nodes=n_nodes, rng_seed=seed, **params)
-    if name == "wss":
-        return WSSBackend(n_nodes=n_nodes, **params)
-    if name == "electronic":
-        return ElectronicBackend(n_nodes=n_nodes, **params)
-    raise KeyError(f"unknown backend {name!r} (known: {BACKENDS})")

@@ -13,8 +13,9 @@ so the dependency stays one-directional).
 
 from __future__ import annotations
 
-from repro.scenarios.backends import make_backend
+from repro.scenarios.arena import run_arena
 from repro.scenarios.episodes import Episode
+from repro.scenarios.registry import make_backend
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.scenario import Scenario, ScenarioEvent
 
@@ -24,7 +25,10 @@ BACKEND_PARAM_KEYS = ("planes", "flows_per_wavelength",
                       "state_update_period", "duration_slots",
                       "n_switches", "wavelengths_per_port",
                       "reconfig_period", "slot_time_s",
-                      "technology", "lanes_per_endpoint")
+                      "technology", "lanes_per_endpoint",
+                      "links_per_pair", "gbps_per_link",
+                      "n_groups", "intra_gbps", "global_links",
+                      "gbps_per_global_link", "routing")
 
 
 # -- scenario builders ---------------------------------------------------------
@@ -221,8 +225,9 @@ def scenario_task(config: dict, seed: int):
     """Sweep factory: one (scenario, backend) run to a ScenarioReport.
 
     ``config["scenario"]`` is a :meth:`Scenario.to_config` dict (or a
-    registered scenario name), ``config["backend"]`` one of
-    :data:`~repro.scenarios.backends.BACKENDS`; flat backend-parameter
+    registered scenario name), ``config["backend"]`` any name in
+    :func:`~repro.scenarios.registry.available_backends`; flat
+    backend-parameter
     keys (:data:`BACKEND_PARAM_KEYS`) pass through to the constructor.
     ``config["rng_seed"]`` pins the run for bit-identical replays;
     omit it to let the engine-derived ``seed`` resample per task (the
@@ -247,3 +252,44 @@ def scenario_task(config: dict, seed: int):
 def scenario_metrics(report) -> dict:
     """Aggregate-metrics extraction for scenario sweep tasks."""
     return report.as_dict()
+
+
+def arena_task(config: dict, seed: int):
+    """Sweep factory: one one-pass arena race to an ArenaReport.
+
+    ``config["scenario"]`` is a registered name or a
+    :meth:`Scenario.to_config` dict; ``config["backends"]`` an
+    optional list (or comma-joined string) of contenders, defaulting
+    to every registered backend; ``config["rng_seed"]`` pins the run
+    (falling back to the engine-derived ``seed``); ``n_epochs``
+    trims the race.
+    """
+    described = config["scenario"]
+    scenario = (get_scenario(described) if isinstance(described, str)
+                else Scenario.from_config(described))
+    if "n_epochs" in config:
+        scenario = scenario.with_epochs(int(config["n_epochs"]))
+    backends = config.get("backends")
+    if isinstance(backends, str):
+        backends = tuple(part.strip() for part in backends.split(",")
+                         if part.strip())
+    return run_arena(scenario, backends=backends,
+                     seed=int(config.get("rng_seed", seed)))
+
+
+def arena_metrics(arena) -> dict:
+    """Flattened arena metrics (per-backend columns + frontiers)."""
+    out: dict = {"scenario": arena.scenario,
+                 "backends": list(arena.backends)}
+    for row in arena.rows():
+        name = row["fabric"]
+        for key in ("carried_gbps", "throughput_ratio",
+                    "slowdown_p99", "power_w", "gbps_per_watt"):
+            out[f"{name}_{key}"] = row[key]
+    iso_perf = arena.iso_performance()
+    iso_power = arena.iso_power()
+    out["iso_perf_winner"] = iso_perf[0]["backend"]
+    out["iso_power_winner"] = iso_power[0]["backend"]
+    out["iso_performance"] = iso_perf
+    out["iso_power"] = iso_power
+    return out

@@ -1,0 +1,136 @@
+"""Backend plugin registry: one source of truth for fabric names.
+
+Every fabric backend registers itself with the
+:func:`register_backend` decorator; everything that used to
+string-match backend names — CLI ``--backend`` choices, scenario
+sweeps, service submit validation, the Hypothesis snapshot
+round-trip property — derives its name list from
+:func:`available_backends` instead. Adding a topology is therefore
+one decorated class: it appears in the CLI, the arena, the sweeps,
+and the conformance gates with no other wiring.
+
+The registry records per-backend *capabilities* so callers can ask
+what a contender supports instead of special-casing names:
+
+* ``batch_step`` — has a vectorized epoch path twinned with a
+  per-flow scalar oracle (the SIM006 discipline);
+* ``fail_plane`` — honours ``fail_plane`` / ``repair_plane``
+  scripted events (backends without it return ``False`` from
+  ``apply_event`` and the runner counts the event as ignored);
+* ``power`` — models provisioned fabric power via ``power_w()`` so
+  the arena can place it on iso-performance / iso-power frontiers.
+
+``defaults`` carries per-backend default config applied by
+:func:`make_backend` before caller overrides, and ``seed_param``
+names the constructor keyword (if any) that receives the caller's
+``seed`` — the registry's replacement for the old if/elif chain
+that knew ``awgr`` wanted ``rng_seed``.
+
+This module deliberately imports nothing from the backend modules:
+``backends`` and ``topologies`` import *it* and self-register, and
+the package ``__init__`` imports them in order so any entry path
+(``import repro.scenarios.registry`` included — the package
+``__init__`` always runs first) sees the full registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenarios.backends import FabricBackend
+
+_ClassT = TypeVar("_ClassT", bound=type)
+
+#: name -> BackendInfo, in registration order.
+_REGISTRY: dict[str, "BackendInfo"] = {}
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Everything the rest of the system knows about one backend."""
+
+    name: str
+    cls: type
+    description: str
+    #: Vectorized epoch path with a scalar twin oracle (SIM006).
+    batch_step: bool = True
+    #: Honours fail_plane / repair_plane scripted events.
+    fail_plane: bool = True
+    #: Exposes ``power_w()`` for iso-perf / iso-power frontiers.
+    power: bool = True
+    #: Constructor keyword that receives ``make_backend``'s seed, or
+    #: None for backends that are deterministic given their inputs.
+    seed_param: str | None = None
+    #: Default config merged under caller overrides.
+    defaults: dict = field(default_factory=dict)
+
+    def capabilities(self) -> dict:
+        """JSON-stable capability flags for tables and ``/backends``."""
+        return {"batch_step": self.batch_step,
+                "fail_plane": self.fail_plane,
+                "power": self.power}
+
+
+def register_backend(name: str, *, description: str = "",
+                     batch_step: bool = True, fail_plane: bool = True,
+                     power: bool = True, seed_param: str | None = None,
+                     defaults: dict | None = None,
+                     ) -> Callable[[_ClassT], _ClassT]:
+    """Class decorator adding a backend to the global registry.
+
+    The decorated class must implement the full
+    :class:`~repro.scenarios.backends.FabricBackend` surface
+    (``step`` / ``apply_event`` / ``snapshot`` / ``restore`` and a
+    ``name`` attribute) and take ``n_nodes`` as a keyword — that is
+    the entire contract; registration is what wires it into the CLI,
+    sweeps, the arena, and the conformance test gates.
+    """
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        if name in _REGISTRY:
+            raise ValueError(
+                f"backend {name!r} already registered "
+                f"(by {_REGISTRY[name].cls.__name__})")
+        _REGISTRY[name] = BackendInfo(
+            name=name, cls=cls, description=description,
+            batch_step=batch_step, fail_plane=fail_plane, power=power,
+            seed_param=seed_param, defaults=dict(defaults or {}))
+        return cls
+
+    return decorate
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend (the live view —
+    unlike the frozen ``BACKENDS`` re-export, this sees backends
+    registered after :mod:`repro.scenarios` was imported)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_info(name: str) -> BackendInfo:
+    """Registry record for ``name``; KeyError lists known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r} "
+            f"(known: {sorted(available_backends())})") from None
+
+
+def make_backend(name: str, n_nodes: int, seed: int = 0,
+                 **params) -> "FabricBackend":
+    """Construct a registered backend by name with keyword overrides.
+
+    Registry defaults apply first, then ``seed`` (routed to the
+    backend's declared ``seed_param``, ignored by deterministic
+    backends), then caller ``params`` — so an explicit RNG-seed
+    override in ``params`` beats the positional ``seed``.
+    """
+    info = backend_info(name)
+    kwargs = dict(info.defaults)
+    if info.seed_param is not None:
+        kwargs[info.seed_param] = seed
+    kwargs.update(params)
+    return info.cls(n_nodes=n_nodes, **kwargs)

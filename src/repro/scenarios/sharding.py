@@ -322,7 +322,8 @@ class ShardedScenarioRunner:
     scenario:
         The scenario to replay.
     backend:
-        Backend name (:data:`~repro.scenarios.backends.BACKENDS`).
+        Backend name (any entry in
+        :func:`~repro.scenarios.registry.available_backends`).
     backend_params:
         Keyword overrides for the backend constructor (must be
         JSON-stable: they are part of every chunk's cache identity).

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 
+from repro.scenarios.registry import available_backends
 from repro.scenarios.scenario import EVENT_ACTIONS, ScenarioEvent
 from repro.service.sessions import Session
 
@@ -101,6 +102,12 @@ def parse_submit(body: dict) -> dict:
     backend = body.get("backend", "awgr")
     if not isinstance(backend, str):
         raise ProtocolError("backend must be a string")
+    if backend not in available_backends():
+        # Reject unknown names at the boundary (HTTP 400) instead of
+        # letting the worker's make_backend KeyError fail the session.
+        raise ProtocolError(
+            f"unknown backend {backend!r} "
+            f"(known: {sorted(available_backends())})")
     params = body.get("backend_params", {})
     if not isinstance(params, dict):
         raise ProtocolError("backend_params must be an object")

@@ -1,0 +1,94 @@
+"""Iso-performance / iso-power frontier arithmetic (§VI-E scaling)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    FrontierPoint,
+    iso_performance_frontier,
+    iso_power_frontier,
+)
+
+
+def points():
+    return [
+        FrontierPoint(backend="lean", carried_gbps=800.0, power_w=4.0),
+        FrontierPoint(backend="fast", carried_gbps=1000.0,
+                      power_w=100.0),
+        FrontierPoint(backend="dead", carried_gbps=0.0, power_w=50.0),
+    ]
+
+
+class TestFrontierPoint:
+    def test_efficiency_and_dict(self):
+        p = FrontierPoint(backend="x", carried_gbps=500.0, power_w=25.0)
+        assert p.gbps_per_watt == 20.0
+        row = p.as_dict()
+        assert json.loads(json.dumps(row)) == row
+        assert row["gbps_per_watt"] == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="carried_gbps"):
+            FrontierPoint(backend="x", carried_gbps=-1.0, power_w=1.0)
+        with pytest.raises(ValueError, match="power_w"):
+            FrontierPoint(backend="x", carried_gbps=1.0, power_w=0.0)
+
+
+class TestIsoPerformance:
+    def test_default_target_is_best_carried(self):
+        rows = iso_performance_frontier(points())
+        assert all(r["target_gbps"] == 1000.0 for r in rows)
+        # lean scales 1.25x from 4 W (5 W) — still far cheaper than
+        # fast's measured 100 W; dead can't reach any target.
+        assert [r["backend"] for r in rows] == ["lean", "fast", "dead"]
+        assert rows[0]["iso_power_w"] == pytest.approx(5.0)
+        assert rows[1]["iso_power_w"] == pytest.approx(100.0)
+        assert rows[2]["iso_power_w"] is None
+        assert rows[2]["scale"] is None
+
+    def test_explicit_target(self):
+        rows = iso_performance_frontier(points(), target_gbps=400.0)
+        by_name = {r["backend"]: r for r in rows}
+        assert by_name["lean"]["iso_power_w"] == pytest.approx(2.0)
+        assert by_name["fast"]["iso_power_w"] == pytest.approx(40.0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError, match="target_gbps"):
+            iso_performance_frontier(points(), target_gbps=-1.0)
+
+
+class TestIsoPower:
+    def test_default_budget_is_leanest_power(self):
+        rows = iso_power_frontier(points())
+        assert all(r["budget_w"] == 4.0 for r in rows)
+        # Inside 4 W: lean keeps its 800, fast shrinks 25x to 40,
+        # dead still carries nothing.
+        assert [r["backend"] for r in rows] == ["lean", "fast", "dead"]
+        assert rows[0]["iso_carried_gbps"] == pytest.approx(800.0)
+        assert rows[1]["iso_carried_gbps"] == pytest.approx(40.0)
+        assert rows[2]["iso_carried_gbps"] == 0.0
+
+    def test_explicit_budget(self):
+        rows = iso_power_frontier(points(), budget_w=200.0)
+        by_name = {r["backend"]: r for r in rows}
+        assert by_name["fast"]["iso_carried_gbps"] == pytest.approx(
+            2000.0)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget_w"):
+            iso_power_frontier(points(), budget_w=0.0)
+
+
+class TestValidation:
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            iso_performance_frontier([])
+        with pytest.raises(ValueError, match="at least one"):
+            iso_power_frontier([])
+
+    def test_duplicate_backends_rejected(self):
+        dupes = [FrontierPoint(backend="x", carried_gbps=1.0,
+                               power_w=1.0)] * 2
+        with pytest.raises(ValueError, match="duplicate"):
+            iso_performance_frontier(dupes)

@@ -64,6 +64,11 @@ BACKEND_PARAMS = [
     ("wss", {"n_switches": 3, "wavelengths_per_port": 8,
              "reconfig_period": 2}),
     ("electronic", {}),
+    ("full_mesh", {"links_per_pair": 2, "gbps_per_link": 40.0}),
+    ("dragonfly", {"n_groups": 5, "routing": "minimal",
+                   "gbps_per_global_link": 25.0}),
+    ("dragonfly", {"n_groups": 5, "routing": "valiant",
+                   "gbps_per_global_link": 25.0}),
 ]
 
 

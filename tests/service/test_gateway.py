@@ -145,6 +145,28 @@ class TestErrors:
         assert err.value.status == 400
         assert "typo_field" in str(err.value)
 
+    def test_unknown_backend_400(self, service):
+        """Unknown backend names bounce at the boundary with the
+        registry's name list, instead of failing the session in a
+        worker."""
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.submit("demo", backend="quantum")
+        assert err.value.status == 400
+        assert "quantum" in str(err.value)
+        assert "awgr" in str(err.value)
+
+    def test_registry_backend_session(self, service):
+        """A registry-only contender (no hand-written service shim)
+        runs to completion over the wire."""
+        client, _ = service
+        scenario = wire_scenario(6, name="mesh-wire")
+        summary = client.submit(scenario.to_config(),
+                                backend="full_mesh", base_seed=3)
+        epochs = client.stream_epochs(summary["id"])
+        assert epochs == reference_payloads(scenario, seed=3,
+                                            backend="full_mesh")
+
     def test_unknown_scenario_name_400(self, service):
         """A bad registered-scenario name is a client error with the
         lookup's message, not a dropped connection."""
